@@ -1,0 +1,15 @@
+"""Ablation (Section 9.5): idealised 1-cycle L1s understate losses."""
+
+from repro.harness.experiments import experiment_ablation_l1_latency
+
+from benchmarks.conftest import record_report
+
+
+def test_l1_latency_ablation(benchmark, runner, results_dir):
+    report = benchmark.pedantic(
+        experiment_ablation_l1_latency, args=(runner,), rounds=1, iterations=1
+    )
+    record_report(report, results_dir)
+    data = report.data
+    # Faster L1 -> higher baseline IPC.
+    assert data[1]["baseline_ipc"] >= data[4]["baseline_ipc"]

@@ -1,0 +1,34 @@
+"""Ablation (Section 9.2): split store taints fix STT-Rename."""
+
+from repro.harness.experiments import experiment_ablation_store_taints
+from repro.pipeline.config import MEGA
+from repro.pipeline.core import OoOCore
+from repro.core.stt_rename import STTRenameScheme
+from repro.workloads.kernels import forwarding_kernel
+
+from benchmarks.conftest import record_report
+
+
+def test_split_taints_on_exchange2_profile(benchmark, runner, results_dir):
+    report = benchmark.pedantic(
+        experiment_ablation_store_taints, args=(runner,), rounds=1, iterations=1
+    )
+    record_report(report, results_dir)
+
+
+def test_split_taints_on_forwarding_kernel(benchmark, results_dir):
+    def run():
+        program = forwarding_kernel(iterations=150)
+        unified = OoOCore(program, config=MEGA,
+                          scheme=STTRenameScheme(split_store_taints=False)).run()
+        split = OoOCore(program, config=MEGA,
+                        scheme=STTRenameScheme(split_store_taints=True)).run()
+        return unified, split
+
+    unified, split = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nsplit-taint ablation: unified IPC %.2f (%d errors) -> "
+          "split IPC %.2f (%d errors)"
+          % (unified.stats.ipc, unified.stats.stl_forward_errors,
+             split.stats.ipc, split.stats.stl_forward_errors))
+    assert split.stats.ipc > unified.stats.ipc
+    assert split.stats.stl_forward_errors < unified.stats.stl_forward_errors

@@ -1,0 +1,18 @@
+"""Figure 10: relative timing across baseline absolute IPC."""
+
+from repro.harness.experiments import experiment_figure10
+
+from benchmarks.conftest import record_report
+
+
+def test_figure10_timing_trend(benchmark, runner, results_dir):
+    report = benchmark.pedantic(
+        experiment_figure10, args=(runner,), rounds=1, iterations=1
+    )
+    record_report(report, results_dir)
+    # STT-Rename's relative timing degrades with width; NDA's does not.
+    rename_points = [y for _x, y in report.data["stt-rename"]["points"]]
+    assert rename_points[0] > rename_points[-1]
+    assert report.data["stt-rename"]["slope"] < 0
+    nda_points = [y for _x, y in report.data["nda"]["points"]]
+    assert min(nda_points) >= 0.999

@@ -1,0 +1,19 @@
+"""Figure 7: normalized IPC for all four configurations per scheme."""
+
+from repro.harness.experiments import experiment_figure7
+
+from benchmarks.conftest import record_report
+
+
+def test_figure7_ipc_across_configs(benchmark, runner, results_dir):
+    report = benchmark.pedantic(
+        experiment_figure7, args=(runner,), rounds=1, iterations=1
+    )
+    record_report(report, results_dir)
+    # The paper's key claim: the mean normalized IPC *worsens* as the
+    # core gets wider, for every scheme.
+    for scheme, per_config in report.data.items():
+        means = [per_config[c]["arithmetic-mean"]
+                 for c in ("small", "medium", "large", "mega")]
+        assert means[0] > means[3], scheme
+        assert means[0] > 0.97, scheme  # Small barely affected

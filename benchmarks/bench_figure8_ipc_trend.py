@@ -1,0 +1,19 @@
+"""Figure 8: relative IPC vs absolute IPC, trend + Redwood Cove."""
+
+from repro.harness.experiments import experiment_figure8
+
+from benchmarks.conftest import record_report
+
+
+def test_figure8_ipc_trend(benchmark, runner, results_dir):
+    report = benchmark.pedantic(
+        experiment_figure8, args=(runner,), rounds=1, iterations=1
+    )
+    record_report(report, results_dir)
+    for scheme, data in report.data.items():
+        # Losses grow with absolute IPC: negative slope.
+        assert data["slope"] < 0, scheme
+        # The Redwood Cove extrapolation predicts a larger loss than
+        # any measured configuration.
+        measured_min = min(y for _x, y in data["points"])
+        assert data["redwood_cove_linear"] < measured_min, scheme

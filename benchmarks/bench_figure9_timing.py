@@ -1,0 +1,21 @@
+"""Figure 9: achieved synthesis frequency per configuration and scheme."""
+
+from repro.harness.experiments import experiment_figure9
+
+from benchmarks.conftest import record_report
+
+
+def test_figure9_synthesis_timing(benchmark, runner, results_dir):
+    report = benchmark.pedantic(experiment_figure9, rounds=1, iterations=1)
+    record_report(report, results_dir)
+    data = report.data
+    # Paper structure: STT-Rename achieves ~80% of baseline frequency
+    # on Mega (rename-stage chain), STT-Issue is issue-stage limited,
+    # NDA meets or beats baseline everywhere.
+    mega = data["mega"]
+    assert mega["stt-rename"]["mhz"] / mega["baseline"]["mhz"] < 0.85
+    assert mega["stt-rename"]["critical_stage"] == "rename"
+    assert mega["stt-issue"]["critical_stage"] == "issue"
+    for config in ("small", "medium", "large", "mega"):
+        per = data[config]
+        assert per["nda"]["mhz"] >= per["baseline"]["mhz"] * 0.999, config

@@ -1,0 +1,19 @@
+"""Engineering benchmark: simulator throughput itself.
+
+Not a paper artefact — this tracks the model's cycles-per-second so
+performance regressions in the simulator are visible in CI.
+"""
+
+from repro.pipeline.config import MEGA
+from repro.pipeline.core import OoOCore
+from repro.workloads.kernels import streaming_kernel
+
+
+def test_simulation_throughput(benchmark):
+    program = streaming_kernel(iterations=300, array_words=1024)
+
+    def run():
+        return OoOCore(program, config=MEGA, warm_caches=True).run()
+
+    result = benchmark(run)
+    assert result.stats.committed_instructions > 1000

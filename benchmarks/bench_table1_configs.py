@@ -1,0 +1,18 @@
+"""Table 1: the four BOOM configurations and their baseline IPC."""
+
+from repro.harness.experiments import experiment_table1
+
+from benchmarks.conftest import record_report
+
+
+def test_table1_baseline_ipc(benchmark, runner, results_dir):
+    report = benchmark.pedantic(
+        experiment_table1, args=(runner,), rounds=1, iterations=1
+    )
+    record_report(report, results_dir)
+    ipcs = [report.data[c] for c in ("small", "medium", "large", "mega")]
+    # The paper's Table 1 shape: IPC grows monotonically with width,
+    # with a substantial Small-to-Mega spread (the paper's is 2.76x;
+    # short smoke-scale runs compress it somewhat).
+    assert ipcs == sorted(ipcs)
+    assert 1.6 < ipcs[3] / ipcs[0] < 4.0

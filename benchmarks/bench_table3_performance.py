@@ -1,0 +1,23 @@
+"""Table 3 / Figure 1: performance = IPC x timing, + Intel estimate."""
+
+from repro.harness.experiments import experiment_table3
+
+from benchmarks.conftest import record_report
+
+
+def test_table3_performance(benchmark, runner, results_dir):
+    report = benchmark.pedantic(
+        experiment_table3, args=(runner,), rounds=1, iterations=1
+    )
+    record_report(report, results_dir)
+    data = report.data
+    # The paper's headline (Section 8.4): once timing is included, NDA
+    # outperforms both STT variants at the widest configuration, and
+    # STT-Rename — the original proposal — comes last.
+    mega = {scheme: data[scheme]["mega"] for scheme in data}
+    assert mega["nda"] > mega["stt-issue"] > mega["stt-rename"]
+    # Performance degrades with width for every scheme.
+    for scheme in data:
+        assert data[scheme]["small"] > data[scheme]["mega"], scheme
+        # And the Redwood Cove-class estimate is the worst of all.
+        assert data[scheme]["intel"] < data[scheme]["mega"], scheme

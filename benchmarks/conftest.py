@@ -1,0 +1,49 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures: it runs
+the experiment through the shared (memoised) campaign runner, prints
+the rendered report, appends it to ``results/experiments.txt``, and
+times the computation with pytest-benchmark.
+
+``REPRO_BENCH_SCALE`` (environment variable, default 1.0) multiplies
+every workload's iteration count: raise it for tighter measurements,
+lower it for smoke runs.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.harness.runner import CampaignRunner
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+_RUNNER = CampaignRunner(scale=_SCALE)
+
+
+@pytest.fixture(scope="session")
+def runner():
+    """The process-wide simulation campaign (memoised across benches)."""
+    return _RUNNER
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def record_report(report, results_dir):
+    """Print a report and append it to the results log."""
+    print()
+    print(str(report))
+    log = results_dir / "experiments.txt"
+    with open(log, "a") as handle:
+        handle.write(str(report))
+        handle.write("\n\n")
+    single = results_dir / ("%s.txt" % report.experiment_id)
+    with open(single, "w") as handle:
+        handle.write(str(report))
+        handle.write("\n")

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: assemble a program, run it under every scheme.
+
+Demonstrates the three layers of the public API:
+
+1. ``assemble`` — write programs in readable assembly.
+2. ``OoOCore`` — the cycle-level out-of-order core, parameterised by a
+   BOOM-style configuration and a secure-speculation scheme.
+3. ``SimulationResult`` — architectural state plus microarchitectural
+   statistics.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro import MEGA, OoOCore, assemble, make_scheme, run_reference
+
+PROGRAM = assemble(
+    """
+    # Sum array[0..63], branching on each element's parity.
+        li   ra, 64          # loop counter
+        li   sp, 0x1000      # array base
+        li   t0, 0           # index
+        li   a0, 0           # sum
+        li   a1, 0           # odd-element count
+    loop:
+        add  t1, sp, t0
+        lw   a2, 0(t1)       # load element
+        add  a0, a0, a2
+        andi t2, a2, 1
+        beq  t2, zero, even  # data-dependent branch
+        addi a1, a1, 1
+    even:
+        addi t0, t0, 1
+        addi ra, ra, -1
+        bne  ra, zero, loop
+        sw   a0, 0(zero)     # publish the sum
+        halt
+    """,
+    name="quickstart",
+)
+for i in range(64):
+    PROGRAM.initial_memory[0x1000 + i] = (i * 37 + 5) % 101
+
+
+def main():
+    reference = run_reference(PROGRAM)
+    print("reference result: sum = %d, odd count = %d" % (
+        reference.state.read_reg(10), reference.state.read_reg(11)))
+    print()
+    print("%-12s %8s %8s %7s %12s %9s" % (
+        "scheme", "cycles", "instrs", "IPC", "taint-blocks", "deferred"))
+    for name in ("baseline", "stt-rename", "stt-issue", "nda"):
+        core = OoOCore(PROGRAM, config=MEGA, scheme=make_scheme(name))
+        result = core.run()
+        assert result.regs[10] == reference.state.read_reg(10)
+        stats = result.stats
+        print("%-12s %8d %8d %7.3f %12d %9d" % (
+            name, stats.cycles, stats.committed_instructions, stats.ipc,
+            stats.taint_blocked_issues, stats.deferred_broadcasts))
+    print()
+    print("All four schemes computed identical architectural results;")
+    print("only the cycle counts (and microarchitectural traffic) differ.")
+
+
+if __name__ == "__main__":
+    main()

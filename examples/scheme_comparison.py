@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Scheme comparison across core sizes on characteristic workloads.
+
+Sweeps three hand-written kernels — streaming (scheme-friendly),
+pointer chase (latency-bound), and tight store/load forwarding (the
+exchange2 pattern) — across the four BOOM configurations, printing
+normalized IPC per scheme.  Shows in miniature what the full harness
+measures on the 22-benchmark proxy suite.
+
+Run: ``python examples/scheme_comparison.py``
+"""
+
+from repro import OoOCore, make_scheme, named_configs
+from repro.workloads.kernels import (
+    chase_kernel,
+    forwarding_kernel,
+    streaming_kernel,
+)
+
+SCHEMES = ("stt-rename", "stt-issue", "nda")
+
+
+def run(program, config, scheme):
+    core = OoOCore(program, config=config, scheme=make_scheme(scheme),
+                   warm_caches=True)
+    return core.run()
+
+
+def main():
+    kernels = [
+        ("streaming", streaming_kernel(iterations=150)),
+        ("pointer-chase", chase_kernel(iterations=80, ring_words=512)),
+        ("forwarding", forwarding_kernel(iterations=150)),
+    ]
+    for label, program in kernels:
+        print("== %s kernel ==" % label)
+        print("%-8s %9s  %s" % ("config", "base IPC",
+                                "  ".join("%-10s" % s for s in SCHEMES)))
+        for config in named_configs():
+            base = run(program, config, "baseline")
+            cells = []
+            for scheme in SCHEMES:
+                result = run(program, config, scheme)
+                cells.append("%-10.3f" % (result.stats.ipc / base.stats.ipc))
+            print("%-8s %9.3f  %s" % (config.name, base.stats.ipc,
+                                      "  ".join(cells)))
+        print()
+    print("Note the forwarding kernel: STT-Rename collapses (unified")
+    print("store taints block address generation -> ordering flushes)")
+    print("while STT-Issue and NDA stay near baseline — Section 9.2.")
+
+
+if __name__ == "__main__":
+    main()

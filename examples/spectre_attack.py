@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Spectre v1 on the model machine: baseline leaks, schemes do not.
+
+Reproduces the paper's Section 7 security verification: a bounds-check
+bypass gadget is trained, the size load is evicted to open a ~90-cycle
+speculation window, and a transient out-of-bounds load transmits the
+secret through a cache covert channel.  The receiver then probes which
+cache lines became resident.
+
+Run: ``python examples/spectre_attack.py``
+"""
+
+from repro.attacks import run_spectre_v1
+
+SECRET = 42
+
+
+def main():
+    print("Spectre v1 bounds-check bypass, secret value = %d" % SECRET)
+    print()
+    for scheme in ("baseline", "stt-rename", "stt-issue", "nda"):
+        outcome = run_spectre_v1(scheme, secret=SECRET)
+        if outcome.leaked:
+            verdict = "LEAKED  -> probe observed %s" % (outcome.observed,)
+        elif outcome.observed:
+            verdict = "noisy   -> probe observed %s (not the secret)" % (
+                outcome.observed,)
+        else:
+            verdict = "blocked -> probe stayed cold"
+        print("  %-11s %s" % (scheme, verdict))
+        print("              %s" % outcome.stats_summary)
+    print()
+    print("The unsafe baseline transmits the secret into the cache; all")
+    print("three secure schemes keep the probe array cold, at the IPC")
+    print("costs quantified by the benchmark harness.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Watch STT taints flow: a load under a branch shadow taints its
+consumers, transmitters block, and untaint broadcasts release them.
+
+Instruments a tiny program and prints, per scheme, the taint and
+blocking counters alongside a cycle-by-cycle view of when the
+dependent (transmitter) load was allowed to execute.
+
+Run: ``python examples/taint_trace.py``
+"""
+
+from repro import MEGA, OoOCore, assemble, make_scheme
+
+PROGRAM = assemble(
+    """
+    # One iteration of a Spectre-shaped dependence chain:
+    #   slow branch -> speculative load -> dependent transmitter load.
+        li   ra, 30
+        li   sp, 0x1000
+        li   t0, 0
+    loop:
+        add  t1, sp, t0
+        lw   a1, 0(t1)       # producer load (speculative under shadow)
+        slti t2, a1, 4096
+        beq  t2, zero, skip  # branch waits on the loaded value
+        addi s2, s2, 1
+    skip:
+        andi a2, a1, 63
+        add  a2, a2, sp
+        lw   a3, 0(a2)       # dependent load: a tainted transmitter
+        add  s3, s3, a3
+        addi t0, t0, 3
+        addi ra, ra, -1
+        bne  ra, zero, loop
+        halt
+    """,
+    name="taint-trace",
+)
+for i in range(256):
+    PROGRAM.initial_memory[0x1000 + i] = (i * 97) % 1999
+
+
+def main():
+    print("%-12s %7s %13s %13s %11s %9s" % (
+        "scheme", "cycles", "loads tainted", "taint blocks",
+        "STT-I nops", "deferred"))
+    for name in ("baseline", "stt-rename", "stt-issue", "nda"):
+        core = OoOCore(PROGRAM, config=MEGA, scheme=make_scheme(name),
+                       warm_caches=True)
+        result = core.run()
+        stats = result.stats
+        print("%-12s %7d %13d %13d %11d %9d" % (
+            name,
+            stats.cycles,
+            stats.extra.get("loads_tainted", 0),
+            stats.taint_blocked_issues,
+            stats.extra.get("stt_issue_nops", 0),
+            stats.deferred_broadcasts,
+        ))
+    print()
+    print("Reading the columns:")
+    print(" * STT-Rename taints conservatively at rename and blocks the")
+    print("   dependent load until the untaint broadcast (+1 cycle lag).")
+    print(" * STT-Issue taints at select time: fewer loads tainted, and")
+    print("   each blocked transmitter first burns one issue slot (nop).")
+    print(" * NDA never blocks execution — it defers the producer's")
+    print("   broadcast, so the whole dependence chain starts late.")
+
+
+if __name__ == "__main__":
+    main()

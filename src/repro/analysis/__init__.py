@@ -1,0 +1,41 @@
+"""Result aggregation, trend fitting, and report rendering."""
+
+from repro.analysis.ipc import (
+    normalized_ipc,
+    suite_mean_ipc,
+    suite_normalized_ipc,
+)
+from repro.analysis.performance import (
+    PerformancePoint,
+    performance_table,
+    scheme_performance,
+)
+from repro.analysis.trends import (
+    TrendFit,
+    extrapolate,
+    fit_trend,
+    halved_slope_estimate,
+    REDWOOD_COVE_IPC,
+)
+from repro.analysis.reporting import (
+    format_figure_series,
+    format_table,
+    text_bar_chart,
+)
+
+__all__ = [
+    "normalized_ipc",
+    "suite_mean_ipc",
+    "suite_normalized_ipc",
+    "PerformancePoint",
+    "performance_table",
+    "scheme_performance",
+    "TrendFit",
+    "fit_trend",
+    "extrapolate",
+    "halved_slope_estimate",
+    "REDWOOD_COVE_IPC",
+    "format_table",
+    "format_figure_series",
+    "text_bar_chart",
+]

@@ -1,0 +1,44 @@
+"""IPC aggregation following the paper's methodology.
+
+Section 8.1: "To calculate average IPC for SPEC2017, we calculate the
+arithmetic mean of cycles and instructions separately, and calculate
+the IPC from these averages" (Eeckhout's preferred aggregate).  All
+suite-level numbers here do exactly that — never a mean of ratios.
+"""
+
+
+def suite_mean_ipc(results):
+    """Aggregate IPC over a list of SimulationResult / SimStats.
+
+    Accepts anything exposing ``stats.cycles`` / ``stats.
+    committed_instructions`` or the counters directly.
+    """
+    total_cycles = 0
+    total_instructions = 0
+    for result in results:
+        stats = getattr(result, "stats", result)
+        total_cycles += stats.cycles
+        total_instructions += stats.committed_instructions
+    if not results or total_cycles == 0:
+        return 0.0
+    n = len(results)
+    mean_cycles = total_cycles / n
+    mean_instructions = total_instructions / n
+    return mean_instructions / mean_cycles
+
+
+def normalized_ipc(scheme_result, baseline_result):
+    """One benchmark's scheme IPC relative to the unsafe baseline."""
+    base = baseline_result.stats.ipc
+    if base == 0:
+        return 0.0
+    return scheme_result.stats.ipc / base
+
+
+def suite_normalized_ipc(scheme_results, baseline_results):
+    """Suite-level normalized IPC (mean-of-components, then ratio)."""
+    scheme = suite_mean_ipc(scheme_results)
+    base = suite_mean_ipc(baseline_results)
+    if base == 0:
+        return 0.0
+    return scheme / base

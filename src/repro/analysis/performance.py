@@ -1,0 +1,47 @@
+"""Performance = IPC x timing (Section 8.4).
+
+The paper's headline correction to prior work: comparing schemes by
+IPC alone is wrong once a scheme's logic limits the clock.  A
+:class:`PerformancePoint` combines a scheme's suite-relative IPC with
+its synthesis-relative timing into a relative performance number.
+"""
+
+from dataclasses import dataclass
+
+from repro.timing.synthesis import relative_timing
+
+
+@dataclass(frozen=True)
+class PerformancePoint:
+    """One (config, scheme) performance sample."""
+
+    config_name: str
+    scheme_name: str
+    baseline_ipc: float
+    relative_ipc: float
+    relative_timing: float
+
+    @property
+    def relative_performance(self):
+        return self.relative_ipc * self.relative_timing
+
+
+def scheme_performance(config, scheme_name, relative_ipc, baseline_ipc):
+    """Build a :class:`PerformancePoint` using the timing model."""
+    return PerformancePoint(
+        config_name=config.name,
+        scheme_name=scheme_name,
+        baseline_ipc=baseline_ipc,
+        relative_ipc=relative_ipc,
+        relative_timing=relative_timing(config, scheme_name),
+    )
+
+
+def performance_table(points):
+    """Group points into {scheme: {config: relative_performance}}."""
+    table = {}
+    for point in points:
+        table.setdefault(point.scheme_name, {})[point.config_name] = (
+            point.relative_performance
+        )
+    return table

@@ -1,0 +1,24 @@
+"""Security verification: Spectre v1 gadget and cache covert channel.
+
+The paper verifies its RTL schemes with the BOOM-attacks Spectre v1
+proof-of-concept (Section 7).  The model equivalent lives here: a
+classic bounds-check-bypass gadget written in the model ISA plus a
+cache-presence prober.  The unsafe baseline must leak the secret into
+the cache; all three schemes must not.  The attack tests assert both
+directions, so a regression that silently weakens a scheme fails CI.
+"""
+
+from repro.attacks.covert_channel import CacheProbe, ProbeResult
+from repro.attacks.spectre_v1 import (
+    SpectreOutcome,
+    build_spectre_program,
+    run_spectre_v1,
+)
+
+__all__ = [
+    "CacheProbe",
+    "ProbeResult",
+    "SpectreOutcome",
+    "build_spectre_program",
+    "run_spectre_v1",
+]

@@ -1,0 +1,65 @@
+"""Cache-presence covert channel receiver.
+
+The transmitter encodes a value by touching one cache line inside a
+probe array; the receiver (this module) inspects which probe lines are
+resident.  The model's caches are tag-only, so "measuring access
+latency" reduces to a non-mutating presence probe — exactly the signal
+a flush+reload / prime+probe receiver extracts with timers on real
+hardware.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """Which candidate values were observed in the cache."""
+
+    hot_values: tuple
+    candidates: tuple
+    probe_base: int
+    stride: int
+
+    def observed(self, value):
+        return value in self.hot_values
+
+
+class CacheProbe:
+    """Receiver over a probe array of one line per candidate value."""
+
+    def __init__(self, probe_base, stride=8, candidates=range(64)):
+        self.probe_base = probe_base
+        self.stride = stride
+        self.candidates = tuple(candidates)
+
+    def address_for(self, value):
+        """Probe-array address that encodes ``value``."""
+        return self.probe_base + value * self.stride
+
+    def measure(self, hierarchy, level="any"):
+        """Probe the hierarchy; returns a :class:`ProbeResult`.
+
+        ``level`` is ``l1``, ``l2``, or ``any`` (either level counts as
+        hot, like a timing threshold between L2 and DRAM).
+        """
+        hot = []
+        for value in self.candidates:
+            address = self.address_for(value)
+            in_l1 = hierarchy.l1.contains(address)
+            in_l2 = hierarchy.l2.contains(address)
+            if level == "l1":
+                resident = in_l1
+            elif level == "l2":
+                resident = in_l2
+            elif level == "any":
+                resident = in_l1 or in_l2
+            else:
+                raise ValueError("level must be l1, l2, or any")
+            if resident:
+                hot.append(value)
+        return ProbeResult(
+            hot_values=tuple(hot),
+            candidates=self.candidates,
+            probe_base=self.probe_base,
+            stride=self.stride,
+        )

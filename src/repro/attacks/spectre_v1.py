@@ -1,0 +1,146 @@
+"""Spectre v1 (bounds check bypass) on the model machine.
+
+The gadget is the classic one::
+
+    if (index < array1_size)            # predicted not-taken branch
+        y = probe[array1[index] * 8]    # transient when index is evil
+
+Structure of the generated program:
+
+* every loop iteration first *evicts* the ``array1_size`` line with
+  straight-line conflict loads (no extra branches, so the bounds-check
+  branch sees an identical global-history context every iteration and
+  trains hard toward in-bounds);
+* the evicted size load takes a DRAM round trip, opening a ~90-cycle
+  speculation window behind the bounds check;
+* training iterations use in-bounds indices (array1 holds a harmless
+  dummy value); the final iteration's index points at the secret, far
+  out of bounds;
+* the transient path loads the secret and touches
+  ``PROBE_BASE + secret * LINE_WORDS`` — one cache line per candidate
+  value, read back by :class:`~repro.attacks.covert_channel.CacheProbe`.
+
+On the unsafe baseline the probe observes the secret's line.  Under
+STT the transmit load's address is taint-blocked (and the secret load
+itself is blocked too, since its address derives from a speculatively
+loaded index); under NDA the secret never propagates out of its
+destination register.  Either way the probe stays cold.
+"""
+
+from dataclasses import dataclass
+
+from repro.isa.assembler import assemble
+from repro.attacks.covert_channel import CacheProbe
+
+# Memory layout (word addresses).
+SIZE_ADDR = 16            # array1_size lives here
+ARRAY1_BASE = 0x800       # 4-element public array
+INDEX_TABLE = 0xC00       # per-iteration index sequence
+EVICT_BASE = 0x10000 + 16 # conflict lines for SIZE_ADDR's set
+PROBE_BASE = 0x40000      # covert-channel probe array
+LINE_WORDS = 8
+#: Conflict-line stride: one line every L2-set-period so each load
+#: lands in SIZE_ADDR's set in both cache levels.
+EVICT_STRIDE = 4096
+EVICT_WAYS = 12
+DUMMY_VALUE = 3           # public value transmitted during training
+
+
+@dataclass(frozen=True)
+class SpectreOutcome:
+    """Result of one attack run."""
+
+    scheme_name: str
+    secret: int
+    observed: tuple
+    leaked: bool
+    training_values: tuple
+    stats_summary: str
+
+
+def build_spectre_program(secret=42, train_rounds=24, secret_offset=1024):
+    """Assemble the attack program; returns (program, probe).
+
+    ``secret`` must be in [0, 64) and different from ``DUMMY_VALUE``.
+    ``secret_offset`` is the out-of-bounds distance from ``array1``.
+    """
+    if not 0 <= secret < 64:
+        raise ValueError("secret must fit the probe range [0, 64)")
+    if secret == DUMMY_VALUE:
+        raise ValueError("secret %d would be masked by training noise" % secret)
+
+    evict_loads = "\n".join(
+        "        lw   s%d, %d(zero)" % (2 + (i % 2), EVICT_BASE + i * EVICT_STRIDE)
+        for i in range(EVICT_WAYS)
+    )
+    source = """
+        li   ra, {rounds}          # iteration counter (counts down to 0)
+        li   a6, {probe_base}
+        li   a7, {array1}
+    attack_loop:
+        # Evict array1_size (straight-line: keeps branch history flat).
+{evict_loads}
+        # Fetch this iteration's index.
+        add  t0, ra, zero
+        lw   a0, {index_table}(t0)
+        # --- the victim gadget ---
+        lw   a1, {size_addr}(zero)     # slow: just evicted
+        bgeu a0, a1, gadget_done       # bounds check (trained not-taken)
+        add  t1, a7, a0
+        lw   a2, 0(t1)                 # array1[index] (transient on attack)
+        slli a3, a2, 3
+        add  a3, a3, a6
+        lw   a4, 0(a3)                 # transmit: touch probe line
+    gadget_done:
+        addi ra, ra, -1
+        bne  ra, zero, attack_loop
+        halt
+    """.format(
+        rounds=train_rounds + 1,
+        probe_base=PROBE_BASE,
+        array1=ARRAY1_BASE,
+        index_table=INDEX_TABLE,
+        size_addr=SIZE_ADDR,
+        evict_loads=evict_loads,
+    )
+    program = assemble(source, name="spectre-v1")
+
+    memory = program.initial_memory
+    memory[SIZE_ADDR] = 4
+    for i in range(4):
+        memory[ARRAY1_BASE + i] = DUMMY_VALUE
+    memory[ARRAY1_BASE + secret_offset] = secret
+    # Iteration ra = train_rounds+1 .. 1; the final iteration (ra == 1)
+    # uses the malicious index.
+    for t in range(2, train_rounds + 2):
+        memory[INDEX_TABLE + t] = t % 4
+    memory[INDEX_TABLE + 1] = secret_offset
+
+    probe = CacheProbe(PROBE_BASE, stride=LINE_WORDS, candidates=range(64))
+    return program, probe
+
+
+def run_spectre_v1(scheme_name, config=None, secret=42, train_rounds=24):
+    """Run the attack under one scheme; returns a :class:`SpectreOutcome`."""
+    from repro.core.factory import make_scheme
+    from repro.pipeline.config import MEGA
+    from repro.pipeline.core import OoOCore
+
+    program, probe = build_spectre_program(secret=secret, train_rounds=train_rounds)
+    core = OoOCore(
+        program, config=config or MEGA, scheme=make_scheme(scheme_name)
+    )
+    result = core.run()
+    measurement = probe.measure(core.hierarchy, level="any")
+    training = tuple(v for v in measurement.hot_values if v == DUMMY_VALUE)
+    suspicious = tuple(
+        v for v in measurement.hot_values if v != DUMMY_VALUE
+    )
+    return SpectreOutcome(
+        scheme_name=scheme_name,
+        secret=secret,
+        observed=suspicious,
+        leaked=secret in suspicious,
+        training_values=training,
+        stats_summary=result.stats.summary(),
+    )

@@ -1,0 +1,40 @@
+"""The paper's primary contribution: in-core secure speculation schemes.
+
+This package implements the three evaluated microarchitectures as
+pluggable strategies over the out-of-order substrate in
+:mod:`repro.pipeline`:
+
+* :class:`~repro.core.stt_rename.STTRenameScheme` — Speculative Taint
+  Tracking with taint computation during register rename (Section 4.1),
+  including the same-cycle YRoT dependency chain and taint-RAT
+  checkpointing (Section 4.2) and the unified-store partial-issue
+  behaviour (Section 9.2).
+* :class:`~repro.core.stt_issue.STTIssueScheme` — the paper's novel
+  STT-Issue design (Section 4.3): tainting delayed to the issue stage,
+  physical-register taint table, wasted-slot nops, and ready-mask
+  back-propagation.
+* :class:`~repro.core.nda.NDAScheme` — NDA-Permissive (Section 5):
+  split data-write / broadcast with delayed broadcasts for speculative
+  loads, no speculative L1-hit scheduling.
+
+The :class:`~repro.core.shadows.ShadowTracker` implements Section 6's
+speculation tracking (C and D shadows, visibility point).
+"""
+
+from repro.core.shadows import ShadowTracker
+from repro.core.plugin import BaselineScheme, SchemeBase
+from repro.core.stt_rename import STTRenameScheme
+from repro.core.stt_issue import STTIssueScheme
+from repro.core.nda import NDAScheme
+from repro.core.factory import SCHEME_NAMES, make_scheme
+
+__all__ = [
+    "ShadowTracker",
+    "SchemeBase",
+    "BaselineScheme",
+    "STTRenameScheme",
+    "STTIssueScheme",
+    "NDAScheme",
+    "SCHEME_NAMES",
+    "make_scheme",
+]

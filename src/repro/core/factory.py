@@ -1,0 +1,30 @@
+"""Scheme construction by name."""
+
+from repro.core.plugin import BaselineScheme
+from repro.core.nda import NDAScheme
+from repro.core.stt_issue import STTIssueScheme
+from repro.core.stt_rename import STTRenameScheme
+
+#: Canonical evaluation order used throughout the paper's tables.
+SCHEME_NAMES = ("baseline", "stt-rename", "stt-issue", "nda")
+
+
+def make_scheme(name, **kwargs):
+    """Build a secure-speculation scheme by name.
+
+    Names: ``baseline``, ``stt-rename``, ``stt-issue``, ``nda``.
+    ``stt-rename`` accepts ``split_store_taints=True`` for the
+    Section 9.2 store-taint ablation.
+    """
+    name = name.lower()
+    if name == "baseline":
+        return BaselineScheme(**kwargs)
+    if name in ("stt-rename", "stt_rename"):
+        return STTRenameScheme(**kwargs)
+    if name in ("stt-issue", "stt_issue"):
+        return STTIssueScheme(**kwargs)
+    if name == "nda":
+        return NDAScheme(**kwargs)
+    raise ValueError(
+        "unknown scheme %r (choose from %s)" % (name, ", ".join(SCHEME_NAMES))
+    )

@@ -1,0 +1,91 @@
+"""Secure-speculation scheme plugin interface and the unsafe baseline.
+
+A scheme is a strategy object attached to one
+:class:`~repro.pipeline.core.OoOCore`.  The core calls the hooks below
+at fixed pipeline points; each of the paper's microarchitectures is
+expressed purely through these hooks, so the substrate stays identical
+across schemes — mirroring how the RTL designs modify a common BOOM.
+
+Hook call sites (in per-cycle order):
+
+* ``on_visibility_update`` — after writeback, before issue: the
+  visibility point may have advanced; untaint broadcasts and NDA's
+  delayed broadcasts are released here.
+* ``blocks_issue`` — during select, per issue-queue entry (and per
+  store half): a True return masks the entry's ready signal.
+* ``on_issue`` — when an entry wins selection; returning False turns
+  the slot into a wasted nop (STT-Issue's tainted-transmitter replay).
+* ``on_load_complete`` — when load data arrives; returning False defers
+  the ready broadcast (NDA's split data-write / broadcast).
+* ``on_rename_uop`` — per micro-op, in program order, during rename.
+* ``on_checkpoint_create`` / ``on_checkpoint_restore`` / ``on_flush_all``
+  — recovery lifecycle.
+"""
+
+
+class SchemeBase:
+    """Default (permissive) implementations of every hook."""
+
+    #: Scheme identifier used in reports.
+    name = "baseline"
+    #: Whether loads may speculatively wake consumers assuming an L1
+    #: hit (NDA removes this logic; Section 5.1).
+    allows_spec_hit_wakeup = True
+    #: Whether rename checkpoints carry extra scheme state (area model).
+    uses_taint_checkpoints = False
+
+    def __init__(self):
+        self.core = None
+
+    def attach(self, core):
+        """Bind to a core.  Called once before simulation starts."""
+        self.core = core
+
+    # -- rename ---------------------------------------------------------
+
+    def on_rename_uop(self, uop):
+        """Called for each micro-op, in program order, at rename."""
+
+    def on_checkpoint_create(self, uop, checkpoint):
+        """A branch/jalr allocated ``checkpoint`` at rename."""
+
+    def on_checkpoint_restore(self, uop, checkpoint):
+        """Misprediction recovery restored ``checkpoint``."""
+
+    def on_flush_all(self):
+        """Full pipeline flush (ordering violation at the ROB head)."""
+
+    # -- issue ------------------------------------------------------------
+
+    def blocks_issue(self, uop, half):
+        """Mask the ready signal of ``uop`` (or a store half) if True."""
+        return False
+
+    def on_issue(self, uop, half, cycle):
+        """Entry won selection.  Return False to waste the slot (nop)."""
+        return True
+
+    # -- memory -----------------------------------------------------------
+
+    def on_load_complete(self, uop, cycle):
+        """Load data arrived.  Return True to broadcast ready now."""
+        return True
+
+    # -- per-cycle ---------------------------------------------------------
+
+    def on_visibility_update(self, cycle):
+        """Visibility point possibly advanced (post-writeback)."""
+
+    def extra_stats(self):
+        """Scheme-specific counters merged into the run statistics."""
+        return {}
+
+
+class BaselineScheme(SchemeBase):
+    """The unsafe baseline: an unmodified out-of-order core.
+
+    Vulnerable to Spectre-style speculative side channels by
+    construction — the attack tests assert exactly that.
+    """
+
+    name = "baseline"

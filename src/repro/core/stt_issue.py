@@ -1,0 +1,141 @@
+"""STT-Issue: taint tracking delayed to the issue stage (Section 4.3).
+
+The paper's novel microarchitecture.  Taints live in a *taint unit*
+indexed by **physical** register.  Nothing happens at rename except
+clearing the freshly-allocated destination's entry (a physical register
+is always overwritten before use, which is also why no taint
+checkpoints are needed — Section 4.3's stale-entry argument).
+
+At issue-select time the taint unit computes the micro-op's YRoT from
+its physical source registers (Figure 4, step 2).  If the micro-op is a
+transmitter and tainted, a nop is issued instead — the slot is wasted
+(step 4) — and the YRoT is back-propagated to the issue-queue entry
+(step 5), masking its ready signal until an untaint broadcast arrives.
+
+Because the taint check happens at issue against the *live* visibility
+point, an instruction whose root became safe this very cycle still
+executes — the one-cycle advantage over STT-Rename's masked wakeup
+(Section 9.1).  Stores taint their address and data operands
+independently, so partial address generation usually proceeds
+untainted (Section 9.2's advantage over the unified STT-Rename store).
+"""
+
+from repro.core.plugin import SchemeBase
+from repro.pipeline.uop import ADDR, DATA, WHOLE
+
+
+class STTIssueScheme(SchemeBase):
+    """Speculative Taint Tracking with issue-time taint computation."""
+
+    name = "stt-issue"
+    allows_spec_hit_wakeup = True
+    uses_taint_checkpoints = False
+
+    def __init__(self):
+        super().__init__()
+        self._taint_unit = []
+        self._broadcast_vp = -1
+        self._prev_vp = -1
+        self.taints_applied = 0
+        self.loads_tainted = 0
+        self.nops_issued = 0
+
+    def attach(self, core):
+        super().attach(core)
+        self._taint_unit = [None] * core.config.num_phys_regs
+        self._broadcast_vp = -1
+        self._prev_vp = -1
+
+    # -- rename ---------------------------------------------------------
+
+    def on_rename_uop(self, uop):
+        # Allocation overwrites any stale taint before the register can
+        # be read again — the property that makes checkpoints
+        # unnecessary (Section 4.3).
+        if uop.prd is not None:
+            self._taint_unit[uop.prd] = None
+
+    # -- issue -------------------------------------------------------------
+
+    def _live_root(self, preg):
+        root = self._taint_unit[preg]
+        if root is None:
+            return None
+        if root <= self.core.vp_now and root not in self.core.d_pending:
+            self._taint_unit[preg] = None
+            return None
+        return root
+
+    def _yrot_for_half(self, uop, half):
+        if half == ADDR or (uop.is_load and half == WHOLE):
+            pregs = (uop.prs1,)
+        elif half == DATA:
+            pregs = (uop.prs2,)
+        else:
+            pregs = (uop.prs1, uop.prs2)
+        roots = [self._live_root(p) for p in pregs if p is not None]
+        live = [r for r in roots if r is not None]
+        return max(live) if live else None
+
+    def blocks_issue(self, uop, half):
+        """Ready-mask from a back-propagated YRoT (Figure 4, step 5)."""
+        if uop.is_store:
+            root = uop.yrot_addr if half == ADDR else uop.yrot_data
+        else:
+            root = uop.yrot
+        if root is None:
+            return False
+        return root > self._broadcast_vp or root in self.core.d_pending
+
+    def on_issue(self, uop, half, cycle):
+        vp_now = self.core.vp_now
+
+        if uop.is_store and half == DATA:
+            # Latching store data is unobservable: never blocked.  Its
+            # taint reaches consumers via the forwarding load's own
+            # taint (the forwarding load is necessarily speculative).
+            return True
+
+        yrot = self._yrot_for_half(uop, half)
+
+        yrot_unsafe = yrot is not None and (
+            yrot > vp_now or yrot in self.core.d_pending
+        )
+        if uop.is_transmitter and yrot_unsafe:
+            # Tainted transmitter: issue a nop, waste the slot, and
+            # back-propagate the YRoT to mask the entry's ready signal.
+            if uop.is_store:
+                uop.yrot_addr = yrot
+            else:
+                uop.yrot = yrot
+            self.nops_issued += 1
+            return False
+
+        if uop.writes_reg and (half == WHOLE or uop.is_load):
+            if uop.is_load:
+                speculative = uop.seq > vp_now
+                dest_root = uop.seq if speculative else None
+                if speculative:
+                    self.loads_tainted += 1
+            else:
+                dest_root = yrot
+            self._taint_unit[uop.prd] = dest_root
+            if dest_root is not None:
+                self.taints_applied += 1
+        return True
+
+    # -- per-cycle -------------------------------------------------------------
+
+    def on_visibility_update(self, cycle):
+        self._broadcast_vp = self._prev_vp
+        self._prev_vp = self.core.vp_now
+
+    def on_flush_all(self):
+        self._taint_unit = [None] * self.core.config.num_phys_regs
+
+    def extra_stats(self):
+        return {
+            "taints_applied": self.taints_applied,
+            "loads_tainted": self.loads_tainted,
+            "stt_issue_nops": self.nops_issued,
+        }

@@ -1,0 +1,149 @@
+"""STT-Rename: taint tracking during register renaming (Section 4.1/4.2).
+
+Taints live in a *taint RAT* indexed by architectural register.  A
+micro-op's YRoT (youngest root of taint) is the youngest root among its
+source registers' taints; renaming a group computes YRoTs strictly in
+program order so same-cycle dependencies chain through the group — the
+serial dependency chain of Figure 3, whose single-cycle requirement is
+what costs STT-Rename timing on wide cores (the *timing model* charges
+for that chain; this module models its *behaviour*).
+
+Untainting is a broadcast: when the visibility point advances past a
+root, issue-queue entries observe it one cycle later (the scheme keeps
+a one-cycle-delayed copy of the visibility point for ready-masking).
+This is the one-cycle disadvantage versus STT-Issue of Section 9.1.
+
+Checkpointing (Section 4.2): every branch checkpoint carries a copy of
+the taint RAT.  Restored entries may be stale — roots may have become
+non-speculative since the checkpoint — which the hardware handles with
+a validity sweep; the model gets the same effect by re-validating
+roots against the live visibility point on every read.
+
+The ``split_store_taints`` flag enables the Section 9.2 optimisation:
+two taints per store (address and data operand) so that address
+generation is not blocked by a tainted data operand.
+"""
+
+from repro.core.plugin import SchemeBase
+from repro.isa.registers import NUM_ARCH_REGS
+from repro.pipeline.uop import ADDR, DATA
+
+
+class STTRenameScheme(SchemeBase):
+    """Speculative Taint Tracking with rename-time taint computation."""
+
+    name = "stt-rename"
+    allows_spec_hit_wakeup = True
+    uses_taint_checkpoints = True
+
+    def __init__(self, split_store_taints=False):
+        super().__init__()
+        self.split_store_taints = split_store_taints
+        self._taint_rat = [None] * NUM_ARCH_REGS
+        # Visibility point as last *broadcast* to the issue queue: lags
+        # the live value by one cycle.  Roots are sequence numbers, so
+        # -1 means "no untaint broadcast seen yet".
+        self._broadcast_vp = -1
+        self._prev_vp = -1
+        self.taints_applied = 0
+        self.loads_tainted = 0
+
+    def attach(self, core):
+        super().attach(core)
+        self._taint_rat = [None] * NUM_ARCH_REGS
+        self._broadcast_vp = -1
+        self._prev_vp = -1
+
+    # -- taint reads ------------------------------------------------------
+
+    def _live_root(self, arch_reg):
+        """Current taint root of an architectural register, or None.
+
+        Roots that have become non-speculative self-invalidate (the
+        RTL's checkpoint-restore validity sweep, expressed as a
+        read-time check against the live visibility point).
+        """
+        root = self._taint_rat[arch_reg]
+        if root is None:
+            return None
+        if root <= self.core.vp_now and root not in self.core.d_pending:
+            self._taint_rat[arch_reg] = None
+            return None
+        return root
+
+    @staticmethod
+    def _youngest(roots):
+        live = [r for r in roots if r is not None]
+        return max(live) if live else None
+
+    # -- rename hook --------------------------------------------------------
+
+    def on_rename_uop(self, uop):
+        instr = uop.instr
+        if instr.is_store:
+            uop.yrot_addr = self._youngest(
+                self._live_root(r) for r in instr.address_source_regs()
+            )
+            uop.yrot_data = self._youngest(
+                self._live_root(r) for r in instr.data_source_regs()
+            )
+            # Unified micro-op taint covering both operands (Section 9.2).
+            uop.yrot = self._youngest((uop.yrot_addr, uop.yrot_data))
+            return
+
+        yrot = self._youngest(self._live_root(r) for r in instr.source_regs())
+        uop.yrot = yrot
+
+        if uop.writes_reg:
+            if instr.is_load:
+                speculative = not self.core.shadows.is_safe(uop.seq)
+                dest_root = uop.seq if speculative else None
+                if speculative:
+                    self.loads_tainted += 1
+            else:
+                dest_root = yrot
+            self._taint_rat[instr.rd] = dest_root
+            if dest_root is not None:
+                self.taints_applied += 1
+
+    # -- checkpoints --------------------------------------------------------
+
+    def on_checkpoint_create(self, uop, checkpoint):
+        checkpoint.scheme_state = list(self._taint_rat)
+
+    def on_checkpoint_restore(self, uop, checkpoint):
+        self._taint_rat = list(checkpoint.scheme_state)
+
+    def on_flush_all(self):
+        self._taint_rat = [None] * NUM_ARCH_REGS
+
+    # -- issue-side blocking --------------------------------------------------
+
+    def blocks_issue(self, uop, half):
+        if not uop.is_transmitter:
+            return False
+        if uop.is_store:
+            if self.split_store_taints:
+                # Split taints: only address generation is observable.
+                root = uop.yrot_addr if half == ADDR else None
+            else:
+                root = uop.yrot
+        else:
+            root = uop.yrot
+        if root is None:
+            return False
+        return root > self._broadcast_vp or root in self.core.d_pending
+
+    # -- per-cycle -------------------------------------------------------------
+
+    def on_visibility_update(self, cycle):
+        # Promote last cycle's visibility point to "broadcast" status:
+        # the issue queue observes untaints one cycle after resolution.
+        self._broadcast_vp = self._prev_vp
+        self._prev_vp = self.core.vp_now
+
+    def extra_stats(self):
+        return {
+            "taints_applied": self.taints_applied,
+            "loads_tainted": self.loads_tainted,
+        }

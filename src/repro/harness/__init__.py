@@ -1,0 +1,22 @@
+"""Experiment harness: one entry per paper table/figure.
+
+:class:`~repro.harness.runner.CampaignRunner` executes the
+(benchmark x config x scheme) simulation grid once and caches results;
+:mod:`repro.harness.experiments` turns the cached grid into each
+table/figure of the paper, rendered as text and returned as data.
+"""
+
+from repro.harness.runner import CampaignRunner, shared_runner
+from repro.harness.experiments import (
+    EXPERIMENTS,
+    run_experiment,
+    experiment_ids,
+)
+
+__all__ = [
+    "CampaignRunner",
+    "shared_runner",
+    "EXPERIMENTS",
+    "run_experiment",
+    "experiment_ids",
+]

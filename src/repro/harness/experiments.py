@@ -1,0 +1,538 @@
+"""One experiment per paper table/figure.
+
+Each ``experiment_*`` function consumes a shared
+:class:`~repro.harness.runner.CampaignRunner`, produces the paper
+artefact as structured data, and renders a text report.  The
+``benchmarks/`` harness calls these and prints/records the reports, so
+``pytest benchmarks/ --benchmark-only`` regenerates the whole
+evaluation section.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.analysis.ipc import normalized_ipc, suite_mean_ipc, suite_normalized_ipc
+from repro.analysis.performance import scheme_performance
+from repro.analysis.reporting import format_table, text_bar_chart
+from repro.analysis.trends import (
+    REDWOOD_COVE_IPC,
+    extrapolate,
+    fit_trend,
+    halved_slope_estimate,
+)
+from repro.pipeline.config import named_configs
+from repro.timing.area import estimate_area
+from repro.timing.power import estimate_power
+from repro.timing.synthesis import relative_timing, synthesize
+
+SCHEMES = ("stt-rename", "stt-issue", "nda")
+
+
+@dataclass
+class ExperimentReport:
+    """Rendered text + structured data for one experiment."""
+
+    experiment_id: str
+    title: str
+    text: str
+    data: dict = field(default_factory=dict)
+
+    def __str__(self):
+        return "%s\n%s\n%s" % (self.title, "=" * len(self.title), self.text)
+
+
+# ----------------------------------------------------------------------
+# Table 1: configurations and baseline absolute IPC.
+# ----------------------------------------------------------------------
+
+def experiment_table1(runner):
+    rows = []
+    data = {}
+    for config in named_configs():
+        results = runner.suite_results(config, "baseline")
+        ipc = suite_mean_ipc(results)
+        data[config.name] = ipc
+        rows.append(
+            [config.name, config.width, config.mem_width, config.rob_entries,
+             ipc]
+        )
+    text = format_table(
+        ["Config", "Core Width", "Memory Ports", "ROB Entries", "SPEC2017 IPC"],
+        rows,
+        title="Table 1: BOOM configurations, baseline absolute IPC",
+    )
+    text += (
+        "\nIntel Redwood Cove reference: width 6, SPEC2017 IPC %.2f (from"
+        " the paper's Table 1)." % REDWOOD_COVE_IPC
+    )
+    return ExperimentReport("table1", "Table 1 — configurations", text, data)
+
+
+# ----------------------------------------------------------------------
+# Figure 6: per-benchmark normalized IPC at Mega.
+# ----------------------------------------------------------------------
+
+def experiment_figure6(runner, config=None):
+    from repro.pipeline.config import MEGA
+
+    config = config or MEGA
+    baseline = {
+        name: runner.run(name, config, "baseline") for name in runner.benchmarks
+    }
+    data = {}
+    rows = []
+    for name in runner.benchmarks:
+        row = [name]
+        per_scheme = {}
+        for scheme in SCHEMES:
+            result = runner.run(name, config, scheme)
+            value = normalized_ipc(result, baseline[name])
+            per_scheme[scheme] = value
+            row.append(value)
+        data[name] = per_scheme
+        rows.append(row)
+
+    means = {}
+    baseline_results = list(baseline.values())
+    for scheme in SCHEMES:
+        scheme_results = [runner.run(n, config, scheme) for n in runner.benchmarks]
+        means[scheme] = suite_normalized_ipc(scheme_results, baseline_results)
+    rows.append(["arithmetic-mean"] + [means[s] for s in SCHEMES])
+    data["arithmetic-mean"] = means
+
+    text = format_table(
+        ["Benchmark"] + list(SCHEMES),
+        rows,
+        title="Figure 6: IPC normalized to baseline (%s config)" % config.name,
+    )
+    return ExperimentReport("figure6", "Figure 6 — normalized IPC", text, data)
+
+
+# ----------------------------------------------------------------------
+# Figure 7: normalized IPC per scheme across all four configurations.
+# ----------------------------------------------------------------------
+
+def experiment_figure7(runner):
+    data = {}
+    sections = []
+    for scheme in SCHEMES:
+        per_config = {}
+        rows = []
+        for name in runner.benchmarks:
+            row = [name]
+            for config in named_configs():
+                base = runner.run(name, config, "baseline")
+                result = runner.run(name, config, scheme)
+                value = normalized_ipc(result, base)
+                per_config.setdefault(config.name, {})[name] = value
+                row.append(value)
+            rows.append(row)
+        mean_row = ["arithmetic-mean"]
+        for config in named_configs():
+            baseline_results = runner.suite_results(config, "baseline")
+            scheme_results = runner.suite_results(config, scheme)
+            mean = suite_normalized_ipc(scheme_results, baseline_results)
+            per_config[config.name]["arithmetic-mean"] = mean
+            mean_row.append(mean)
+        rows.append(mean_row)
+        data[scheme] = per_config
+        sections.append(
+            format_table(
+                ["Benchmark", "small", "medium", "large", "mega"],
+                rows,
+                title="Figure 7 (%s): normalized IPC per configuration" % scheme,
+            )
+        )
+    return ExperimentReport(
+        "figure7", "Figure 7 — IPC across configurations",
+        "\n\n".join(sections), data,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 8: relative IPC vs absolute IPC, with trend lines.
+# ----------------------------------------------------------------------
+
+def experiment_figure8(runner):
+    data = {}
+    lines = []
+    baseline_ipcs = {}
+    for config in named_configs():
+        baseline_ipcs[config.name] = suite_mean_ipc(
+            runner.suite_results(config, "baseline")
+        )
+    for scheme in SCHEMES:
+        xs, ys = [], []
+        for config in named_configs():
+            baseline_results = runner.suite_results(config, "baseline")
+            scheme_results = runner.suite_results(config, scheme)
+            xs.append(baseline_ipcs[config.name])
+            ys.append(suite_normalized_ipc(scheme_results, baseline_results))
+        fit = fit_trend(xs, ys)
+        redwood = extrapolate(fit)
+        data[scheme] = {
+            "points": list(zip(xs, ys)),
+            "slope": fit.slope,
+            "intercept": fit.intercept,
+            "redwood_cove_linear": redwood,
+        }
+        lines.append(
+            "%-11s points: %s | trend y = %.3f x + %.3f | linear @IPC %.2f"
+            " -> %.3f"
+            % (
+                scheme,
+                " ".join("(%.2f, %.3f)" % (x, y) for x, y in zip(xs, ys)),
+                fit.slope,
+                fit.intercept,
+                REDWOOD_COVE_IPC,
+                redwood,
+            )
+        )
+    text = "Figure 8: relative IPC vs baseline absolute IPC\n" + "\n".join(lines)
+    return ExperimentReport("figure8", "Figure 8 — IPC trend", text, data)
+
+
+# ----------------------------------------------------------------------
+# Figure 9: achieved synthesis frequency per configuration.
+# ----------------------------------------------------------------------
+
+def experiment_figure9(runner=None):
+    data = {}
+    sections = []
+    for config in named_configs():
+        per_scheme = {}
+        labels, values = [], []
+        for scheme in ("baseline",) + SCHEMES:
+            result = synthesize(config, scheme)
+            per_scheme[scheme] = {
+                "mhz": result.frequency_mhz,
+                "critical_stage": result.critical_stage,
+            }
+            labels.append("%-10s (%s)" % (scheme, result.critical_stage[:6]))
+            values.append(result.frequency_mhz)
+        data[config.name] = per_scheme
+        sections.append(
+            text_bar_chart(
+                labels, values,
+                title="Figure 9 (%s BOOM): achieved MHz" % config.name,
+                max_value=max(values),
+            )
+        )
+    return ExperimentReport(
+        "figure9", "Figure 9 — synthesis timing", "\n\n".join(sections), data
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 10: relative timing vs absolute IPC, with trend.
+# ----------------------------------------------------------------------
+
+def experiment_figure10(runner):
+    data = {}
+    lines = []
+    for scheme in SCHEMES:
+        xs, ys = [], []
+        for config in named_configs():
+            xs.append(suite_mean_ipc(runner.suite_results(config, "baseline")))
+            ys.append(relative_timing(config, scheme))
+        fit = fit_trend(xs, ys)
+        data[scheme] = {"points": list(zip(xs, ys)), "slope": fit.slope}
+        lines.append(
+            "%-11s %s | trend slope %.3f"
+            % (
+                scheme,
+                " ".join("(%.2f, %.3f)" % (x, y) for x, y in zip(xs, ys)),
+                fit.slope,
+            )
+        )
+    text = (
+        "Figure 10: relative timing (vs baseline) across baseline absolute"
+        " IPC\n" + "\n".join(lines)
+    )
+    return ExperimentReport("figure10", "Figure 10 — timing trend", text, data)
+
+
+# ----------------------------------------------------------------------
+# Figure 1 / Table 3: performance = IPC x timing (+ Redwood Cove).
+# ----------------------------------------------------------------------
+
+def experiment_table3(runner):
+    data = {}
+    rows = []
+    config_names = [c.name for c in named_configs()]
+    for scheme in SCHEMES:
+        xs, perfs = [], []
+        per_config = {}
+        for config in named_configs():
+            baseline_results = runner.suite_results(config, "baseline")
+            scheme_results = runner.suite_results(config, scheme)
+            baseline_ipc = suite_mean_ipc(baseline_results)
+            rel_ipc = suite_normalized_ipc(scheme_results, baseline_results)
+            point = scheme_performance(config, scheme, rel_ipc, baseline_ipc)
+            per_config[config.name] = point.relative_performance
+            xs.append(baseline_ipc)
+            perfs.append(point.relative_performance)
+        fit = fit_trend(xs, perfs)
+        intel = halved_slope_estimate(fit)
+        per_config["intel"] = intel
+        data[scheme] = per_config
+        rows.append(
+            [scheme] + [per_config[name] for name in config_names] + [intel]
+        )
+    text = format_table(
+        ["Scheme"] + config_names + ["Intel (halved slope)"],
+        rows,
+        title=(
+            "Table 3 / Figure 1: normalized performance (IPC x timing);"
+            " Intel = Redwood Cove-class estimate at IPC %.2f" % REDWOOD_COVE_IPC
+        ),
+    )
+    return ExperimentReport(
+        "table3", "Table 3 / Figure 1 — performance", text, data
+    )
+
+
+# ----------------------------------------------------------------------
+# Table 4: area and power at the fixed synthesis frequency.
+# ----------------------------------------------------------------------
+
+def experiment_table4(runner, config=None):
+    from repro.pipeline.config import MEGA
+
+    config = config or MEGA
+    baseline_area = estimate_area(config, "baseline")
+    baseline_results = runner.suite_results(config, "baseline")
+    baseline_power = _suite_power(config, "baseline", baseline_results)
+
+    rows = []
+    data = {}
+    for scheme in SCHEMES:
+        area = estimate_area(config, scheme)
+        rel_luts, rel_ffs = area.relative_to(baseline_area)
+        scheme_results = runner.suite_results(config, scheme)
+        power = _suite_power(config, scheme, scheme_results)
+        rel_power = power / baseline_power
+        data[scheme] = {"luts": rel_luts, "ffs": rel_ffs, "power": rel_power}
+        rows.append([scheme, rel_luts, rel_ffs, rel_power])
+    text = format_table(
+        ["Scheme", "LUTs", "FFs", "Power"],
+        rows,
+        title=(
+            "Table 4: area and power normalized to baseline"
+            " (%s config, fixed 50 MHz)" % config.name
+        ),
+    )
+    return ExperimentReport("table4", "Table 4 — area and power", text, data)
+
+
+def _suite_power(config, scheme, results):
+    total = 0.0
+    for result in results:
+        total += estimate_power(config, scheme, result.stats).total
+    return total / max(1, len(results))
+
+
+# ----------------------------------------------------------------------
+# Table 5: BOOM vs gem5 IPC losses.
+# ----------------------------------------------------------------------
+
+def experiment_table5(runner, gem5_scale=None):
+    from repro.gem5.model import GEM5_EXCLUDED, Gem5Model
+    from repro.pipeline.config import LARGE, MEDIUM, MEGA
+
+    comparable = [b for b in runner.benchmarks if b not in GEM5_EXCLUDED]
+    rows = []
+    data = {}
+    for config in (MEDIUM, LARGE, MEGA):
+        baseline_results = runner.suite_results(config, "baseline", comparable)
+        base_ipc = suite_mean_ipc(baseline_results)
+        row = ["BOOM " + config.name, base_ipc]
+        losses = {}
+        for scheme in SCHEMES:
+            scheme_results = runner.suite_results(config, scheme, comparable)
+            loss = 1.0 - suite_normalized_ipc(scheme_results, baseline_results)
+            losses[scheme] = loss
+            row.append("%.1f%%" % (100.0 * loss))
+        data["boom-" + config.name] = {"baseline_ipc": base_ipc, **losses}
+        rows.append(row)
+
+    scale = gem5_scale if gem5_scale is not None else runner.scale
+    for which, scheme in (("stt", "stt-rename"), ("nda", "nda")):
+        model = Gem5Model(which, scale=scale, seed=runner.seed)
+        baseline = list(model.run_suite("baseline").values())
+        scheme_res = list(model.run_suite(scheme).values())
+        base_ipc = suite_mean_ipc(baseline)
+        loss = 1.0 - suite_normalized_ipc(scheme_res, baseline)
+        data["gem5-" + which] = {"baseline_ipc": base_ipc, scheme: loss}
+        row = ["gem5 (%s cfg)" % which, base_ipc]
+        for s in SCHEMES:
+            row.append("%.1f%%" % (100.0 * loss) if s == scheme else "N/A")
+        rows.append(row)
+
+    text = format_table(
+        ["Configuration", "Baseline IPC", "STT-Rename loss", "STT-Issue loss",
+         "NDA loss"],
+        rows,
+        title=(
+            "Table 5: IPC loss, BOOM configurations vs gem5-proxy"
+            " configurations (namd/parest/povray excluded, per the paper)"
+        ),
+    )
+    return ExperimentReport("table5", "Table 5 — BOOM vs gem5", text, data)
+
+
+# ----------------------------------------------------------------------
+# Section 8.1 / 9.2: the exchange2 forwarding anomaly.
+# ----------------------------------------------------------------------
+
+def experiment_exchange2(runner, config=None):
+    from repro.pipeline.config import MEGA
+
+    config = config or MEGA
+    benchmark = "548.exchange2"
+    rows = []
+    data = {}
+    for scheme in ("baseline",) + SCHEMES:
+        result = runner.run(benchmark, config, scheme)
+        stats = result.stats
+        data[scheme] = {
+            "ipc": stats.ipc,
+            "stl_forward_errors": stats.stl_forward_errors,
+            "flushes": stats.order_violation_flushes,
+            "partial_store_issues": stats.partial_store_issues,
+        }
+        rows.append(
+            [scheme, stats.ipc, stats.stl_forward_errors,
+             stats.order_violation_flushes, stats.partial_store_issues]
+        )
+    base_err = max(1, data["nda"]["stl_forward_errors"])
+    ratio = data["stt-rename"]["stl_forward_errors"] / base_err
+    text = format_table(
+        ["Scheme", "IPC", "STL fwd errors", "Violation flushes",
+         "Partial store issues"],
+        rows,
+        title="Section 9.2: exchange2 store-to-load forwarding anomaly",
+    )
+    text += (
+        "\nSTT-Rename incurs %.0fx the forwarding errors of NDA"
+        " (paper reports 1350x on full SPEC runs)." % max(ratio, 1.0)
+    )
+    data["error_ratio_vs_nda"] = ratio
+    return ExperimentReport(
+        "exchange2", "Section 9.2 — exchange2 anomaly", text, data
+    )
+
+
+# ----------------------------------------------------------------------
+# Ablation: split store taints for STT-Rename (Section 9.2 proposal).
+# ----------------------------------------------------------------------
+
+def experiment_ablation_store_taints(runner, config=None):
+    from repro.core.stt_rename import STTRenameScheme
+    from repro.pipeline.config import MEGA
+    from repro.pipeline.core import OoOCore
+
+    config = config or MEGA
+    benchmark = "548.exchange2"
+    program = runner.programs()[benchmark]
+
+    rows = []
+    data = {}
+    for label, split in (("unified (paper design)", False),
+                         ("split taints (Section 9.2 fix)", True)):
+        core = OoOCore(program, config=config, warm_caches=True,
+                       scheme=STTRenameScheme(split_store_taints=split))
+        result = core.run()
+        data[label] = {
+            "ipc": result.stats.ipc,
+            "stl_forward_errors": result.stats.stl_forward_errors,
+        }
+        rows.append([label, result.stats.ipc, result.stats.stl_forward_errors])
+    text = format_table(
+        ["STT-Rename store tainting", "IPC", "STL fwd errors"],
+        rows,
+        title="Ablation: unified vs split store taints on exchange2",
+    )
+    return ExperimentReport(
+        "ablation-store-taints", "Ablation — split store taints", text, data
+    )
+
+
+# ----------------------------------------------------------------------
+# Ablation: the 1-cycle L1 optimism (Section 9.5).
+# ----------------------------------------------------------------------
+
+def experiment_ablation_l1_latency(runner, latencies=(1, 2, 4), scheme="nda"):
+    from dataclasses import replace
+
+    from repro.core.factory import make_scheme
+    from repro.memsys.hierarchy import MemConfig
+    from repro.pipeline.config import MEGA
+    from repro.pipeline.core import OoOCore
+
+    rows = []
+    data = {}
+    sample = [b for b in runner.benchmarks[::4]]
+    for latency in latencies:
+        mem = MemConfig(l1_latency=latency)
+        config = MEGA.scaled(name="mega-l1-%d" % latency, mem=mem)
+        base_results, scheme_results = [], []
+        for name in sample:
+            program = runner.programs()[name]
+            base_results.append(
+                OoOCore(program, config=config, scheme=make_scheme("baseline"),
+                        warm_caches=True).run()
+            )
+            scheme_results.append(
+                OoOCore(program, config=config, scheme=make_scheme(scheme),
+                        warm_caches=True).run()
+            )
+        base_ipc = suite_mean_ipc(base_results)
+        loss = 1.0 - suite_normalized_ipc(scheme_results, base_results)
+        data[latency] = {"baseline_ipc": base_ipc, "loss": loss}
+        rows.append([latency, base_ipc, "%.1f%%" % (100 * loss)])
+    text = format_table(
+        ["L1 latency (cycles)", "Baseline IPC", "%s IPC loss" % scheme],
+        rows,
+        title=(
+            "Ablation (Section 9.5): idealised 1-cycle L1 understates"
+            " scheme losses"
+        ),
+    )
+    return ExperimentReport(
+        "ablation-l1-latency", "Ablation — L1 latency", text, data
+    )
+
+
+EXPERIMENTS = {
+    "table1": experiment_table1,
+    "figure6": experiment_figure6,
+    "figure7": experiment_figure7,
+    "figure8": experiment_figure8,
+    "figure9": experiment_figure9,
+    "figure10": experiment_figure10,
+    "table3": experiment_table3,
+    "figure1": experiment_table3,  # Figure 1 plots Table 3's data
+    "table4": experiment_table4,
+    "table5": experiment_table5,
+    "exchange2": experiment_exchange2,
+    "ablation-store-taints": experiment_ablation_store_taints,
+    "ablation-l1-latency": experiment_ablation_l1_latency,
+}
+
+
+def experiment_ids():
+    return sorted(EXPERIMENTS)
+
+
+def run_experiment(experiment_id, runner=None, **kwargs):
+    """Run one experiment by id; returns an :class:`ExperimentReport`."""
+    from repro.harness.runner import shared_runner
+
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(
+            "unknown experiment %r (choose from %s)"
+            % (experiment_id, ", ".join(experiment_ids()))
+        )
+    if runner is None:
+        runner = shared_runner()
+    return EXPERIMENTS[experiment_id](runner, **kwargs)

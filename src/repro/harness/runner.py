@@ -1,0 +1,70 @@
+"""Simulation campaign runner with memoisation.
+
+Regenerating every table and figure needs the full
+(22 benchmarks x 4 configs x 4 schemes) grid; many experiments share
+slices of it, so one shared runner caches every simulation result by
+(benchmark, config, scheme) key for the lifetime of the process.
+"""
+
+from repro.core.factory import SCHEME_NAMES, make_scheme
+from repro.pipeline.config import named_configs
+from repro.pipeline.core import OoOCore
+from repro.workloads.spec2017 import spec_suite
+
+
+class CampaignRunner:
+    """Runs and caches the benchmark/config/scheme grid."""
+
+    def __init__(self, scale=1.0, seed=2017, benchmarks=None):
+        self.scale = scale
+        self.seed = seed
+        from repro.workloads.characteristics import SPEC_BENCHMARKS
+
+        self.benchmarks = tuple(benchmarks or SPEC_BENCHMARKS)
+        self._programs = None
+        self._cache = {}
+
+    # -- program generation (lazy, shared across runs) -------------------
+
+    def programs(self):
+        if self._programs is None:
+            self._programs = dict(
+                spec_suite(scale=self.scale, seed=self.seed,
+                           benchmarks=self.benchmarks)
+            )
+        return self._programs
+
+    # -- simulation --------------------------------------------------------
+
+    def run(self, benchmark, config, scheme_name):
+        """Result for one cell of the grid (cached)."""
+        key = (benchmark, config.name, scheme_name)
+        if key not in self._cache:
+            program = self.programs()[benchmark]
+            core = OoOCore(program, config=config,
+                           scheme=make_scheme(scheme_name), warm_caches=True)
+            self._cache[key] = core.run()
+        return self._cache[key]
+
+    def suite_results(self, config, scheme_name, benchmarks=None):
+        """Results for all benchmarks under (config, scheme), in order."""
+        selected = benchmarks or self.benchmarks
+        return [self.run(name, config, scheme_name) for name in selected]
+
+    def full_grid(self, configs=None, schemes=SCHEME_NAMES):
+        """Force-populate the whole grid (useful for timing the cost)."""
+        for config in configs or named_configs():
+            for scheme in schemes:
+                self.suite_results(config, scheme)
+        return self
+
+
+_SHARED = {}
+
+
+def shared_runner(scale=1.0, seed=2017):
+    """Process-wide memoised runner for a given scale/seed."""
+    key = (scale, seed)
+    if key not in _SHARED:
+        _SHARED[key] = CampaignRunner(scale=scale, seed=seed)
+    return _SHARED[key]

@@ -1,0 +1,55 @@
+"""Model instruction set used by the ShadowBinding reproduction.
+
+The ISA is a small RISC-V-flavoured integer instruction set:
+
+* 32 architectural integer registers ``x0``..``x31`` with ``x0``
+  hardwired to zero.
+* Word-addressed memory (one 64-bit value per address).
+* ALU, multiply/divide, load/store, conditional branch, and jump
+  instructions.
+
+Three layers live here:
+
+* :mod:`repro.isa.instructions` — the static :class:`Instruction` record
+  and :class:`Opcode` enumeration plus classification helpers
+  (loads, stores, branches, transmitters).
+* :mod:`repro.isa.assembler` — a tiny text assembler so examples and
+  attack gadgets can be written as readable programs.
+* :mod:`repro.isa.interp` — an in-order functional interpreter used as
+  the architectural-correctness oracle for the out-of-order core.
+"""
+
+from repro.isa.instructions import (
+    Instruction,
+    Opcode,
+    OPCODE_INFO,
+    OpcodeInfo,
+)
+from repro.isa.registers import (
+    NUM_ARCH_REGS,
+    REG_NAMES,
+    ZERO_REG,
+    reg_index,
+    reg_name,
+)
+from repro.isa.program import Program
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.interp import ArchState, ReferenceInterpreter, run_reference
+
+__all__ = [
+    "Instruction",
+    "Opcode",
+    "OPCODE_INFO",
+    "OpcodeInfo",
+    "NUM_ARCH_REGS",
+    "REG_NAMES",
+    "ZERO_REG",
+    "reg_index",
+    "reg_name",
+    "Program",
+    "AssemblerError",
+    "assemble",
+    "ArchState",
+    "ReferenceInterpreter",
+    "run_reference",
+]

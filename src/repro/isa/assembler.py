@@ -1,0 +1,231 @@
+"""A small two-pass text assembler for the model ISA.
+
+Accepted syntax, one instruction per line::
+
+    # comment
+    loop:                       ; labels end with a colon
+        li   t0, 42
+        addi t0, t0, -1
+        lw   a0, 8(t1)          ; load from t1 + 8
+        sw   a0, 0(sp)          ; store a0 to sp + 0
+        beq  t0, zero, done
+        jal  ra, loop
+        jalr ra, t2, 0
+    done:
+        halt
+
+Directives::
+
+    .word ADDR VALUE            ; seed initial memory
+    .reg  REG VALUE             ; seed an initial register value
+
+Targets for branches and ``jal`` are labels or absolute instruction
+indices.  Immediates may be decimal or ``0x`` hexadecimal.
+"""
+
+import re
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import Program
+from repro.isa.registers import reg_index
+
+
+class AssemblerError(ValueError):
+    """Raised on any parse or resolution failure, with line context."""
+
+
+_MEM_OPERAND = re.compile(r"^(-?\w+)\((\w+)\)$")
+
+_THREE_REG = {
+    Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR,
+    Opcode.SLT, Opcode.SLTU, Opcode.SLL, Opcode.SRL, Opcode.SRA,
+    Opcode.MUL, Opcode.DIV, Opcode.REM,
+}
+_TWO_REG_IMM = {
+    Opcode.ADDI, Opcode.ANDI, Opcode.ORI, Opcode.XORI,
+    Opcode.SLTI, Opcode.SLLI, Opcode.SRLI, Opcode.SRAI,
+}
+_BRANCHES = {
+    Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE, Opcode.BLTU, Opcode.BGEU,
+}
+
+
+def _parse_int(text, line_no):
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise AssemblerError("line %d: bad integer %r" % (line_no, text))
+
+
+def _parse_reg(text, line_no):
+    try:
+        return reg_index(text)
+    except KeyError:
+        raise AssemblerError("line %d: bad register %r" % (line_no, text))
+
+
+def _split_operands(rest):
+    return [part.strip() for part in rest.split(",") if part.strip()]
+
+
+def assemble(source, name="program"):
+    """Assemble ``source`` text into a :class:`Program`.
+
+    Raises:
+        AssemblerError: on syntax errors or unresolved labels.
+    """
+    labels = {}
+    pending = []  # (instr_index, label, line_no) fixups
+    instructions = []
+    initial_memory = {}
+    initial_regs = {}
+
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split("#", 1)[0].split(";", 1)[0].strip()
+        if not line:
+            continue
+
+        while True:
+            match = re.match(r"^(\w+):\s*(.*)$", line)
+            if not match:
+                break
+            label, line = match.group(1), match.group(2).strip()
+            if label in labels:
+                raise AssemblerError("line %d: duplicate label %r" % (line_no, label))
+            labels[label] = len(instructions)
+        if not line:
+            continue
+
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        rest = parts[1] if len(parts) > 1 else ""
+
+        if mnemonic == ".word":
+            ops = rest.split()
+            if len(ops) != 2:
+                raise AssemblerError("line %d: .word needs ADDR VALUE" % line_no)
+            initial_memory[_parse_int(ops[0], line_no)] = _parse_int(ops[1], line_no)
+            continue
+        if mnemonic == ".reg":
+            ops = rest.split()
+            if len(ops) != 2:
+                raise AssemblerError("line %d: .reg needs REG VALUE" % line_no)
+            initial_regs[_parse_reg(ops[0], line_no)] = _parse_int(ops[1], line_no)
+            continue
+
+        try:
+            op = Opcode(mnemonic)
+        except ValueError:
+            raise AssemblerError("line %d: unknown mnemonic %r" % (line_no, mnemonic))
+
+        operands = _split_operands(rest)
+        instr = _build_instruction(op, operands, line_no, labels, pending,
+                                   len(instructions))
+        instructions.append(instr)
+
+    for index, label, line_no in pending:
+        if label not in labels:
+            raise AssemblerError("line %d: undefined label %r" % (line_no, label))
+        old = instructions[index]
+        instructions[index] = Instruction(
+            op=old.op, rd=old.rd, rs1=old.rs1, rs2=old.rs2,
+            imm=labels[label], label=label,
+        )
+
+    program = Program(
+        instructions=instructions,
+        initial_memory=initial_memory,
+        initial_regs=initial_regs,
+        name=name,
+    )
+    program.validate()
+    return program
+
+
+def _target(text, line_no, labels, pending, index):
+    """Resolve a control-flow target now, or queue a fixup."""
+    if re.fullmatch(r"-?\d+|0x[0-9a-fA-F]+", text):
+        return int(text, 0), ""
+    if text in labels:
+        return labels[text], text
+    pending.append((index, text, line_no))
+    return 0, text
+
+
+def _build_instruction(op, operands, line_no, labels, pending, index):
+    def need(count):
+        if len(operands) != count:
+            raise AssemblerError(
+                "line %d: %s expects %d operands, got %d"
+                % (line_no, op.value, count, len(operands))
+            )
+
+    if op in (Opcode.NOP, Opcode.HALT):
+        need(0)
+        return Instruction(op=op)
+
+    if op == Opcode.LI:
+        need(2)
+        return Instruction(op=op, rd=_parse_reg(operands[0], line_no),
+                           imm=_parse_int(operands[1], line_no))
+
+    if op in _THREE_REG:
+        need(3)
+        return Instruction(
+            op=op,
+            rd=_parse_reg(operands[0], line_no),
+            rs1=_parse_reg(operands[1], line_no),
+            rs2=_parse_reg(operands[2], line_no),
+        )
+
+    if op in _TWO_REG_IMM:
+        need(3)
+        return Instruction(
+            op=op,
+            rd=_parse_reg(operands[0], line_no),
+            rs1=_parse_reg(operands[1], line_no),
+            imm=_parse_int(operands[2], line_no),
+        )
+
+    if op in (Opcode.LW, Opcode.SW):
+        need(2)
+        match = _MEM_OPERAND.match(operands[1])
+        if not match:
+            raise AssemblerError(
+                "line %d: memory operand must look like 8(x1), got %r"
+                % (line_no, operands[1])
+            )
+        imm = _parse_int(match.group(1), line_no)
+        base = _parse_reg(match.group(2), line_no)
+        value_reg = _parse_reg(operands[0], line_no)
+        if op == Opcode.LW:
+            return Instruction(op=op, rd=value_reg, rs1=base, imm=imm)
+        return Instruction(op=op, rs1=base, rs2=value_reg, imm=imm)
+
+    if op in _BRANCHES:
+        need(3)
+        imm, label = _target(operands[2], line_no, labels, pending, index)
+        return Instruction(
+            op=op,
+            rs1=_parse_reg(operands[0], line_no),
+            rs2=_parse_reg(operands[1], line_no),
+            imm=imm,
+            label=label,
+        )
+
+    if op == Opcode.JAL:
+        need(2)
+        imm, label = _target(operands[1], line_no, labels, pending, index)
+        return Instruction(op=op, rd=_parse_reg(operands[0], line_no),
+                           imm=imm, label=label)
+
+    if op == Opcode.JALR:
+        need(3)
+        return Instruction(
+            op=op,
+            rd=_parse_reg(operands[0], line_no),
+            rs1=_parse_reg(operands[1], line_no),
+            imm=_parse_int(operands[2], line_no),
+        )
+
+    raise AssemblerError("line %d: unhandled opcode %s" % (line_no, op.value))

@@ -1,0 +1,211 @@
+"""In-order functional interpreter — the architectural oracle.
+
+The out-of-order pipeline, with all of its renaming, speculation,
+squashing, and secure-scheme delays, must produce *exactly* the same
+architectural result as this trivially-correct in-order interpreter.
+The integration and property-based test suites compare final register
+and memory state between the two for every scheme.
+
+All arithmetic follows 64-bit two's-complement semantics.  Division by
+zero follows RISC-V: quotient is -1 and remainder is the dividend, so
+no instruction can fault.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import Opcode
+from repro.isa.registers import NUM_ARCH_REGS
+
+_MASK64 = (1 << 64) - 1
+
+
+def to_signed64(value):
+    """Wrap an int to signed 64-bit two's-complement."""
+    value &= _MASK64
+    if value >= 1 << 63:
+        value -= 1 << 64
+    return value
+
+
+def to_unsigned64(value):
+    """Reinterpret an int as unsigned 64-bit."""
+    return value & _MASK64
+
+
+@dataclass
+class ArchState:
+    """Architectural machine state: PC, registers, memory."""
+
+    pc: int = 0
+    regs: list = field(default_factory=lambda: [0] * NUM_ARCH_REGS)
+    memory: dict = field(default_factory=dict)
+    halted: bool = False
+
+    def read_reg(self, index):
+        return 0 if index == 0 else self.regs[index]
+
+    def write_reg(self, index, value):
+        if index != 0:
+            self.regs[index] = to_signed64(value)
+
+    def read_mem(self, address):
+        return self.memory.get(to_unsigned64(address), 0)
+
+    def write_mem(self, address, value):
+        self.memory[to_unsigned64(address)] = to_signed64(value)
+
+
+def evaluate_alu(op, a, b, imm):
+    """Pure ALU evaluation shared by the interpreter and the pipeline.
+
+    ``a``/``b`` are the rs1/rs2 values; ``imm`` is the immediate.
+    Returns the signed-64-bit result.  Control-flow and memory opcodes
+    are not handled here.
+    """
+    if op == Opcode.ADD:
+        return to_signed64(a + b)
+    if op == Opcode.SUB:
+        return to_signed64(a - b)
+    if op == Opcode.AND:
+        return to_signed64(a & b)
+    if op == Opcode.OR:
+        return to_signed64(a | b)
+    if op == Opcode.XOR:
+        return to_signed64(a ^ b)
+    if op == Opcode.SLT:
+        return 1 if a < b else 0
+    if op == Opcode.SLTU:
+        return 1 if to_unsigned64(a) < to_unsigned64(b) else 0
+    if op == Opcode.SLL:
+        return to_signed64(a << (b & 63))
+    if op == Opcode.SRL:
+        return to_signed64(to_unsigned64(a) >> (b & 63))
+    if op == Opcode.SRA:
+        return to_signed64(a >> (b & 63))
+    if op == Opcode.ADDI:
+        return to_signed64(a + imm)
+    if op == Opcode.ANDI:
+        return to_signed64(a & imm)
+    if op == Opcode.ORI:
+        return to_signed64(a | imm)
+    if op == Opcode.XORI:
+        return to_signed64(a ^ imm)
+    if op == Opcode.SLTI:
+        return 1 if a < imm else 0
+    if op == Opcode.SLLI:
+        return to_signed64(a << (imm & 63))
+    if op == Opcode.SRLI:
+        return to_signed64(to_unsigned64(a) >> (imm & 63))
+    if op == Opcode.SRAI:
+        return to_signed64(a >> (imm & 63))
+    if op == Opcode.LI:
+        return to_signed64(imm)
+    if op == Opcode.MUL:
+        return to_signed64(a * b)
+    if op == Opcode.DIV:
+        if b == 0:
+            return -1
+        quotient = abs(a) // abs(b)
+        return to_signed64(-quotient if (a < 0) != (b < 0) else quotient)
+    if op == Opcode.REM:
+        if b == 0:
+            return to_signed64(a)
+        remainder = abs(a) % abs(b)
+        return to_signed64(-remainder if a < 0 else remainder)
+    raise ValueError("not an ALU opcode: %s" % op)
+
+
+def branch_taken(op, a, b):
+    """Evaluate a conditional branch's direction."""
+    if op == Opcode.BEQ:
+        return a == b
+    if op == Opcode.BNE:
+        return a != b
+    if op == Opcode.BLT:
+        return a < b
+    if op == Opcode.BGE:
+        return a >= b
+    if op == Opcode.BLTU:
+        return to_unsigned64(a) < to_unsigned64(b)
+    if op == Opcode.BGEU:
+        return to_unsigned64(a) >= to_unsigned64(b)
+    raise ValueError("not a branch opcode: %s" % op)
+
+
+class ReferenceInterpreter:
+    """Step-at-a-time in-order execution of a :class:`Program`."""
+
+    def __init__(self, program):
+        self.program = program
+        self.state = ArchState(pc=program.entry)
+        for addr, value in program.initial_memory.items():
+            self.state.write_mem(addr, value)
+        for reg, value in program.initial_regs.items():
+            self.state.write_reg(reg, value)
+        self.instructions_retired = 0
+        #: Addresses touched by loads, in retirement order (oracle for
+        #: the attack-detection tests).
+        self.load_addresses = []
+
+    def step(self):
+        """Execute one instruction; returns False once halted."""
+        state = self.state
+        if state.halted:
+            return False
+        instr = self.program[state.pc]
+        op = instr.op
+        next_pc = state.pc + 1
+
+        if op == Opcode.HALT:
+            state.halted = True
+        elif op == Opcode.NOP:
+            pass
+        elif op == Opcode.LW:
+            address = to_unsigned64(state.read_reg(instr.rs1) + instr.imm)
+            self.load_addresses.append(address)
+            state.write_reg(instr.rd, state.read_mem(address))
+        elif op == Opcode.SW:
+            address = state.read_reg(instr.rs1) + instr.imm
+            state.write_mem(address, state.read_reg(instr.rs2))
+        elif instr.is_branch:
+            if branch_taken(op, state.read_reg(instr.rs1), state.read_reg(instr.rs2)):
+                next_pc = instr.imm
+        elif op == Opcode.JAL:
+            state.write_reg(instr.rd, state.pc + 1)
+            next_pc = instr.imm
+        elif op == Opcode.JALR:
+            target = to_unsigned64(state.read_reg(instr.rs1) + instr.imm)
+            state.write_reg(instr.rd, state.pc + 1)
+            next_pc = target
+        else:
+            result = evaluate_alu(
+                op, state.read_reg(instr.rs1), state.read_reg(instr.rs2), instr.imm
+            )
+            state.write_reg(instr.rd, result)
+
+        if not state.halted and not 0 <= next_pc < len(self.program):
+            raise RuntimeError(
+                "pc ran off program: %d -> %d (%s)" % (state.pc, next_pc, instr)
+            )
+        state.pc = next_pc if not state.halted else state.pc
+        self.instructions_retired += 1
+        return not state.halted
+
+    def run(self, max_steps=1_000_000):
+        """Run to halt; raises RuntimeError if ``max_steps`` is exceeded."""
+        steps = 0
+        while self.step():
+            steps += 1
+            if steps > max_steps:
+                raise RuntimeError(
+                    "program %r did not halt within %d steps"
+                    % (self.program.name, max_steps)
+                )
+        return self.state
+
+
+def run_reference(program, max_steps=1_000_000):
+    """Convenience wrapper: interpret ``program``, return the interpreter."""
+    interp = ReferenceInterpreter(program)
+    interp.run(max_steps=max_steps)
+    return interp

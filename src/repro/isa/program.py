@@ -1,0 +1,62 @@
+"""Program container: instructions plus initial machine state."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Program:
+    """A runnable program for the model machine.
+
+    Attributes:
+        instructions: static instruction list; the PC is an index into it.
+        initial_memory: sparse initial memory image, address -> value.
+        initial_regs: initial architectural register values, reg -> value.
+        name: human-readable identifier used in reports.
+        entry: starting PC (instruction index).
+    """
+
+    instructions: list
+    initial_memory: dict = field(default_factory=dict)
+    initial_regs: dict = field(default_factory=dict)
+    name: str = "program"
+    entry: int = 0
+
+    def __len__(self):
+        return len(self.instructions)
+
+    def __getitem__(self, pc):
+        return self.instructions[pc]
+
+    def validate(self):
+        """Check structural sanity; raises ValueError on problems.
+
+        Verifies branch/jump targets stay inside the program, register
+        indices are in range, and the program contains a ``halt`` so the
+        simulator terminates.
+        """
+        n = len(self.instructions)
+        if n == 0:
+            raise ValueError("empty program")
+        if not 0 <= self.entry < n:
+            raise ValueError("entry point %d outside program" % self.entry)
+        has_halt = False
+        for pc, instr in enumerate(self.instructions):
+            for r in (instr.rd, instr.rs1, instr.rs2):
+                if not 0 <= r < 32:
+                    raise ValueError("pc %d: register out of range: %d" % (pc, r))
+            if instr.is_branch or instr.op.value == "jal":
+                if not 0 <= instr.imm < n:
+                    raise ValueError(
+                        "pc %d: control target %d outside program" % (pc, instr.imm)
+                    )
+            if instr.op.value == "halt":
+                has_halt = True
+        if not has_halt:
+            raise ValueError("program has no halt instruction")
+
+    def listing(self):
+        """Return a printable assembly listing with PC indices."""
+        lines = []
+        for pc, instr in enumerate(self.instructions):
+            lines.append("%4d: %s" % (pc, instr))
+        return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""Architectural register file definitions.
+
+The model ISA has 32 integer registers named ``x0`` through ``x31``.
+``x0`` is hardwired to zero: writes to it are discarded and reads always
+return zero, exactly as in RISC-V.
+"""
+
+NUM_ARCH_REGS = 32
+
+#: Index of the hardwired-zero register.
+ZERO_REG = 0
+
+#: Canonical register names, ``x0`` .. ``x31``.
+REG_NAMES = tuple("x%d" % i for i in range(NUM_ARCH_REGS))
+
+_NAME_TO_INDEX = {name: i for i, name in enumerate(REG_NAMES)}
+
+# RISC-V-style ABI aliases, accepted by the assembler for readability.
+_ABI_ALIASES = {
+    "zero": 0,
+    "ra": 1,
+    "sp": 2,
+    "gp": 3,
+    "tp": 4,
+    "t0": 5,
+    "t1": 6,
+    "t2": 7,
+    "s0": 8,
+    "fp": 8,
+    "s1": 9,
+    "a0": 10,
+    "a1": 11,
+    "a2": 12,
+    "a3": 13,
+    "a4": 14,
+    "a5": 15,
+    "a6": 16,
+    "a7": 17,
+    "s2": 18,
+    "s3": 19,
+    "s4": 20,
+    "s5": 21,
+    "s6": 22,
+    "s7": 23,
+    "s8": 24,
+    "s9": 25,
+    "s10": 26,
+    "s11": 27,
+    "t3": 28,
+    "t4": 29,
+    "t5": 30,
+    "t6": 31,
+}
+
+
+def reg_index(name):
+    """Translate a register name (``x7``, ``a0``, ``t3``...) to its index.
+
+    Raises:
+        KeyError: if the name is not a valid register.
+    """
+    name = name.strip().lower()
+    if name in _NAME_TO_INDEX:
+        return _NAME_TO_INDEX[name]
+    if name in _ABI_ALIASES:
+        return _ABI_ALIASES[name]
+    raise KeyError("unknown register name: %r" % name)
+
+
+def reg_name(index):
+    """Return the canonical ``xN`` name for a register index."""
+    if not 0 <= index < NUM_ARCH_REGS:
+        raise IndexError("register index out of range: %d" % index)
+    return REG_NAMES[index]

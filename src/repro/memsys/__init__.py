@@ -1,0 +1,19 @@
+"""Memory hierarchy models: caches, prefetcher, latency pipeline.
+
+Caches are *tag-only* latency models: data values always come from the
+flat backing memory plus in-flight store queue (handled by the LSU), so
+the caches only decide *how long* an access takes and *which lines are
+present* — the latter is exactly the state a cache-timing covert
+channel observes, which is what the security tests probe.
+"""
+
+from repro.memsys.cache import CacheModel
+from repro.memsys.prefetcher import StridePrefetcher
+from repro.memsys.hierarchy import MemConfig, MemoryHierarchy
+
+__all__ = [
+    "CacheModel",
+    "StridePrefetcher",
+    "MemConfig",
+    "MemoryHierarchy",
+]

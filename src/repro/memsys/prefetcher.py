@@ -1,0 +1,64 @@
+"""Stride prefetcher, per the paper's gem5 configuration (Table 2)."""
+
+
+class _StrideEntry:
+    __slots__ = ("last_address", "stride", "confidence")
+
+    def __init__(self, address):
+        self.last_address = address
+        self.stride = 0
+        self.confidence = 0
+
+
+class StridePrefetcher:
+    """Classic per-PC stride prefetcher.
+
+    Each load PC trains an entry with the stride between consecutive
+    accesses.  Once the same stride repeats ``threshold`` times, the
+    prefetcher emits ``degree`` prefetch addresses ahead of the stream.
+    """
+
+    def __init__(self, table_size=64, threshold=2, degree=2, line_words=8):
+        if table_size <= 0:
+            raise ValueError("table_size must be positive")
+        self.table_size = table_size
+        self.threshold = threshold
+        self.degree = degree
+        self.line_words = line_words
+        self._table = {}
+        self._order = []  # FIFO replacement of trained PCs
+        self.prefetches_issued = 0
+
+    def observe(self, pc, address):
+        """Train on one access; return a list of addresses to prefetch."""
+        entry = self._table.get(pc)
+        if entry is None:
+            if len(self._order) >= self.table_size:
+                victim = self._order.pop(0)
+                del self._table[victim]
+            entry = _StrideEntry(address)
+            self._table[pc] = entry
+            self._order.append(pc)
+            return []
+
+        stride = address - entry.last_address
+        if stride == entry.stride and stride != 0:
+            entry.confidence = min(entry.confidence + 1, self.threshold + 2)
+        else:
+            entry.confidence = 0
+            entry.stride = stride
+        entry.last_address = address
+
+        if entry.confidence < self.threshold or entry.stride == 0:
+            return []
+        prefetches = []
+        for distance in range(1, self.degree + 1):
+            target = address + entry.stride * distance
+            if target >= 0:
+                prefetches.append(target)
+        self.prefetches_issued += len(prefetches)
+        return prefetches
+
+    def reset(self):
+        self._table.clear()
+        self._order.clear()

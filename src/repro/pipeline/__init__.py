@@ -1,0 +1,42 @@
+"""The out-of-order core substrate (BOOM proxy).
+
+This package implements the machine the secure-speculation schemes are
+grafted onto: a parameterised superscalar out-of-order pipeline with
+
+* register renaming (RAT, free list, branch checkpoints),
+* an issue queue with wakeup/select, speculative L1-hit scheduling and
+  replay,
+* a load-store unit with store-to-load forwarding, memory-dependence
+  speculation, and ordering-violation flushes,
+* a reorder buffer with in-order commit,
+* a decoupled front end with configurable branch prediction.
+
+:class:`repro.pipeline.config.CoreConfig` defines the four BOOM-style
+configurations evaluated by the paper (Small, Medium, Large, Mega);
+:class:`repro.pipeline.core.OoOCore` is the simulator.
+"""
+
+from repro.pipeline.config import (
+    CoreConfig,
+    LARGE,
+    MEDIUM,
+    MEGA,
+    SMALL,
+    boom_config,
+    named_configs,
+)
+from repro.pipeline.core import OoOCore, SimulationResult
+from repro.pipeline.stats import SimStats
+
+__all__ = [
+    "CoreConfig",
+    "SMALL",
+    "MEDIUM",
+    "LARGE",
+    "MEGA",
+    "boom_config",
+    "named_configs",
+    "OoOCore",
+    "SimulationResult",
+    "SimStats",
+]

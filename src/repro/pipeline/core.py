@@ -1,0 +1,569 @@
+"""The out-of-order core simulator.
+
+One :class:`OoOCore` executes one :class:`~repro.isa.program.Program`
+under one :class:`~repro.core.plugin.SchemeBase` and one
+:class:`~repro.pipeline.config.CoreConfig`.  The model is cycle-level
+and *functional*: it computes real values, so its final architectural
+state must (and, per the test suite, does) match the in-order
+reference interpreter exactly, for every scheme, despite speculation,
+squashes, replays, and ordering-violation flushes.
+
+Per-cycle phase order (chosen so values flow like bypass networks):
+
+1. **commit** — retire completed micro-ops in order; ordering
+   violations at the head trigger a full flush.
+2. **events** — scheduled completions: spec-wakeup kills first, then
+   store address/data, completions, and finally load address
+   generation (so loads observe same-cycle store updates).
+3. **visibility** — recompute the visibility point; the scheme releases
+   untaint broadcasts / NDA deferred broadcasts here.
+4. **issue** — wakeup/select in the issue queue.
+5. **rename/dispatch** — pull from the fetch buffer into ROB/IQ/LSQ.
+6. **fetch** — follow predicted control flow.
+7. **squash** — process the oldest misprediction detected this cycle.
+"""
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.factory import make_scheme
+from repro.core.plugin import SchemeBase
+from repro.core.shadows import C_SHADOW, D_SHADOW, ShadowTracker
+from repro.frontend.branch_predictor import BranchTargetBuffer, make_predictor
+from repro.isa.instructions import Opcode
+from repro.isa.interp import branch_taken, evaluate_alu, to_unsigned64
+from repro.isa.registers import NUM_ARCH_REGS
+from repro.memsys.hierarchy import MemoryHierarchy
+from repro.pipeline.config import MEGA
+from repro.pipeline.fetch import FetchUnit
+from repro.pipeline.issue_queue import IssueQueue
+from repro.pipeline.lsu import LoadStoreUnit
+from repro.pipeline.regfile import PhysRegFile
+from repro.pipeline.rename import RenameUnit
+from repro.pipeline.stats import SimStats
+from repro.pipeline.uop import ADDR, DATA, WHOLE, MicroOp
+
+# Event priorities within one cycle.
+_P_SPEC_KILL = 0
+_P_STORE_ADDR = 1
+_P_STORE_DATA = 2
+_P_COMPLETE = 3
+_P_LOAD_AGEN = 4
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run."""
+
+    program_name: str
+    scheme_name: str
+    config_name: str
+    stats: SimStats
+    regs: list
+    memory: dict
+    halted: bool
+    cycles: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def ipc(self):
+        return self.stats.ipc
+
+
+class OoOCore:
+    """Cycle-level out-of-order core with pluggable secure schemes."""
+
+    def __init__(
+        self,
+        program,
+        config=None,
+        scheme=None,
+        max_cycles=5_000_000,
+        watchdog_cycles=50_000,
+        warm_caches=False,
+    ):
+        self.program = program
+        program.validate()
+        self.config = config or MEGA
+        self.config.validate()
+        if scheme is None:
+            scheme = make_scheme("baseline")
+        elif isinstance(scheme, str):
+            scheme = make_scheme(scheme)
+        if not isinstance(scheme, SchemeBase):
+            raise TypeError("scheme must be a SchemeBase or scheme name")
+        self.scheme = scheme
+        self.max_cycles = max_cycles
+        self.watchdog_cycles = watchdog_cycles
+
+        cfg = self.config
+        self.stats = SimStats()
+        self.prf = PhysRegFile(cfg.num_phys_regs)
+        for reg, value in program.initial_regs.items():
+            if reg != 0:
+                self.prf.values[reg] = value
+        self.memory = {
+            to_unsigned64(addr): value
+            for addr, value in program.initial_memory.items()
+        }
+        self.hierarchy = MemoryHierarchy(cfg.mem)
+        if warm_caches and self.memory:
+            self.hierarchy.warm(self.memory.keys(), level="l2")
+        self.rename = RenameUnit(cfg.num_phys_regs, cfg.max_branches)
+        self.rob = deque()
+        self.iq = IssueQueue(self)
+        self.lsu = LoadStoreUnit(self)
+        self.shadows = ShadowTracker()
+        self.predictor = make_predictor(cfg.branch_predictor)
+        self.btb = BranchTargetBuffer(cfg.btb_entries)
+        self.fetch = FetchUnit(self, program, self.predictor, self.btb)
+
+        self.cycle = 0
+        self.next_seq = 0
+        self.vp_now = 0
+        # Loads that executed past older stores with unknown addresses
+        # (their data is unverified until those stores check aliasing).
+        self.d_pending = {}
+        self.halted = False
+        self._events = {}
+        self._pending_squash = None
+        self._div_busy_until = 0
+        self._last_commit_cycle = 0
+        self._instruction_limit = None
+
+        scheme.attach(self)
+
+    # ------------------------------------------------------------------
+    # Public driving interface.
+    # ------------------------------------------------------------------
+
+    def run(self, max_instructions=None):
+        """Simulate until the program halts; returns a SimulationResult.
+
+        ``max_instructions`` optionally stops the run once that many
+        instructions have committed (for fixed-work measurement runs).
+        """
+        self._instruction_limit = max_instructions
+        while not self.halted:
+            if self.cycle >= self.max_cycles:
+                raise RuntimeError(
+                    "simulation exceeded %d cycles (%s on %s/%s)"
+                    % (
+                        self.max_cycles,
+                        self.program.name,
+                        self.config.name,
+                        self.scheme.name,
+                    )
+                )
+            if self.cycle - self._last_commit_cycle > self.watchdog_cycles:
+                raise RuntimeError(self._deadlock_report())
+            self.step()
+        return self.result()
+
+    def step(self):
+        """Advance the machine by one clock cycle."""
+        self._commit()
+        if self.halted:
+            self.stats.cycles = self.cycle + 1
+            return
+        self._process_events()
+        self._update_visibility()
+        self._issue()
+        self._rename_dispatch()
+        self.fetch.do_cycle(self.cycle)
+        self._process_squash()
+        self.cycle += 1
+        self.stats.cycles = self.cycle
+
+    def result(self):
+        """Snapshot the architectural state into a SimulationResult."""
+        regs = [0] * NUM_ARCH_REGS
+        for arch in range(1, NUM_ARCH_REGS):
+            regs[arch] = self.prf.read(self.rename.arch_rat[arch])
+        stats = self.stats
+        stats.extra.update(self.scheme.extra_stats())
+        stats.extra.update(self.hierarchy.stats())
+        return SimulationResult(
+            program_name=self.program.name,
+            scheme_name=self.scheme.name,
+            config_name=self.config.name,
+            stats=stats,
+            regs=regs,
+            memory=dict(self.memory),
+            halted=self.halted,
+            cycles=stats.cycles,
+        )
+
+    # ------------------------------------------------------------------
+    # Commit.
+    # ------------------------------------------------------------------
+
+    def _commit(self):
+        committed = 0
+        while self.rob and committed < self.config.width:
+            head = self.rob[0]
+            if not head.completed:
+                break
+            if head.order_violation:
+                self._flush_all(head)
+                return
+            self.rob.popleft()
+            head.committed = True
+            head.commit_cycle = self.cycle
+            self._last_commit_cycle = self.cycle
+            committed += 1
+            self.stats.committed_instructions += 1
+
+            instr = head.instr
+            if instr.is_store:
+                self.memory[head.address] = head.mem_value
+                self.hierarchy.access(
+                    head.address, pc=head.pc, is_write=True, train_prefetcher=False
+                )
+                self.lsu.commit_store(head)
+                self.stats.committed_stores += 1
+            elif instr.is_load:
+                self.lsu.commit_load(head)
+                self.stats.committed_loads += 1
+            elif instr.is_branch:
+                self.stats.committed_branches += 1
+                self._train_predictor(head)
+            elif instr.op == Opcode.JALR:
+                self.btb.update(head.pc, head.actual_target)
+            elif instr.op == Opcode.HALT:
+                self.rename.commit(head)
+                self.halted = True
+                return
+            self.rename.commit(head)
+
+            if (
+                self._instruction_limit is not None
+                and self.stats.committed_instructions >= self._instruction_limit
+            ):
+                self.halted = True
+                return
+
+    def _train_predictor(self, uop):
+        predictor = self.predictor
+        if hasattr(predictor, "update_with_history") and uop.ghr_at_predict is not None:
+            predictor.update_with_history(uop.pc, uop.taken, uop.ghr_at_predict)
+        else:
+            predictor.update(uop.pc, uop.taken)
+
+    # ------------------------------------------------------------------
+    # Event machinery.
+    # ------------------------------------------------------------------
+
+    def _schedule(self, cycle, priority, kind, uop, payload=None):
+        self._events.setdefault(cycle, []).append(
+            (priority, kind, uop, uop.gen, payload)
+        )
+
+    def schedule_load_complete(self, uop, cycle, value):
+        self._schedule(max(cycle, self.cycle + 1), _P_COMPLETE, "load_complete",
+                       uop, value)
+
+    def schedule_spec_wakeup(self, uop, cycle):
+        """A load that missed still wakes consumers at hit latency; the
+        wakeup is killed one cycle later (replay penalty)."""
+        self._schedule(cycle, _P_COMPLETE, "spec_ready", uop)
+        self._schedule(cycle + 1, _P_SPEC_KILL, "spec_kill", uop)
+
+    def _process_events(self):
+        events = self._events.pop(self.cycle, None)
+        if not events:
+            return
+        events.sort(key=lambda item: item[0])
+        for _priority, kind, uop, gen, payload in events:
+            if uop.killed or uop.gen != gen:
+                continue
+            if kind == "complete_alu":
+                self._ev_complete_alu(uop)
+            elif kind == "load_agen":
+                self.lsu.load_agen(uop, self.cycle)
+            elif kind == "load_complete":
+                self._ev_load_complete(uop, payload)
+            elif kind == "store_addr":
+                self._ev_store_addr(uop)
+            elif kind == "store_data":
+                self._ev_store_data(uop)
+            elif kind == "spec_ready":
+                self.prf.set_spec_ready(uop.prd)
+            elif kind == "spec_kill":
+                self._ev_spec_kill(uop)
+            else:  # pragma: no cover - defensive
+                raise RuntimeError("unknown event kind %r" % kind)
+
+    def _read_operand(self, preg):
+        return self.prf.read(preg) if preg is not None else 0
+
+    def _ev_complete_alu(self, uop):
+        instr = uop.instr
+        op = instr.op
+        a = self._read_operand(uop.prs1)
+        b = self._read_operand(uop.prs2)
+
+        if instr.is_branch:
+            uop.taken = branch_taken(op, a, b)
+            uop.actual_target = instr.imm if uop.taken else uop.pc + 1
+            self._resolve_control(uop, uop.taken != uop.pred_taken)
+        elif op == Opcode.JALR:
+            uop.actual_target = to_unsigned64(a + instr.imm)
+            uop.result = uop.pc + 1
+            self._resolve_control(uop, uop.actual_target != uop.pred_target)
+        elif op == Opcode.JAL:
+            uop.result = uop.pc + 1
+        elif op in (Opcode.NOP, Opcode.HALT):
+            uop.result = 0
+        else:
+            uop.result = evaluate_alu(op, a, b, instr.imm)
+
+        if uop.prd is not None:
+            self.prf.write(uop.prd, uop.result)
+            self.iq.confirm_spec(uop.prd)
+        uop.completed = True
+        uop.complete_cycle = self.cycle
+
+    def _resolve_control(self, uop, mispredicted):
+        self.shadows.resolve(uop.seq)
+        if mispredicted:
+            uop.mispredicted = True
+            if (
+                self._pending_squash is None
+                or uop.seq < self._pending_squash.seq
+            ):
+                self._pending_squash = uop
+        elif uop.checkpoint_id is not None:
+            self.rename.release_checkpoint(uop.checkpoint_id)
+            uop.checkpoint_id = None
+
+    def _ev_store_addr(self, uop):
+        base = self._read_operand(uop.prs1)
+        uop.address = to_unsigned64(base + uop.instr.imm)
+        uop.addr_done = True
+        self.lsu.store_addr_ready(uop, self.cycle)
+        if uop.data_done:
+            uop.completed = True
+            uop.complete_cycle = self.cycle
+
+    def _ev_store_data(self, uop):
+        uop.mem_value = self._read_operand(uop.prs2)
+        uop.data_done = True
+        self.lsu.store_data_ready(uop, self.cycle)
+        if uop.addr_done:
+            uop.completed = True
+            uop.complete_cycle = self.cycle
+
+    def _ev_load_complete(self, uop, value):
+        uop.mem_value = value
+        uop.result = value
+        uop.completed = True
+        uop.complete_cycle = self.cycle
+        if uop.prd is not None:
+            self.prf.write_value_only(uop.prd, value)
+            if self.scheme.on_load_complete(uop, self.cycle):
+                self.prf.set_ready(uop.prd)
+                self.iq.confirm_spec(uop.prd)
+
+    def _ev_spec_kill(self, uop):
+        self.prf.revoke_spec(uop.prd)
+        replayed = self.iq.kill_spec(uop.prd)
+        if replayed:
+            self.stats.replayed_uops += len(replayed)
+            self.stats.wasted_issue_slots += len(replayed)
+        self.stats.spec_wakeup_kills += 1
+
+    # ------------------------------------------------------------------
+    # Visibility point.
+    # ------------------------------------------------------------------
+
+    def is_load_safe(self, seq):
+        """Is the load with sequence ``seq`` bound-to-commit?
+
+        Safe means: no older control shadow is active (Section 6's
+        C-shadows) *and* the load's own memory-dependence speculation,
+        if any, has been verified (its D-shadow; a load that executed
+        past an older store with an unknown address stays speculative
+        until every such store has checked for aliasing).
+        """
+        return seq <= self.vp_now and seq not in self.d_pending
+
+    def _update_visibility(self):
+        vp = self.shadows.visibility_point()
+        self.vp_now = self.next_seq if vp is None else vp
+        self.scheme.on_visibility_update(self.cycle)
+
+    # ------------------------------------------------------------------
+    # Issue.
+    # ------------------------------------------------------------------
+
+    def div_free(self, cycle):
+        return cycle >= self._div_busy_until
+
+    def _issue(self):
+        for uop, half in self.iq.select_and_issue(self.cycle):
+            if uop.is_load:
+                self._schedule(self.cycle + 1, _P_LOAD_AGEN, "load_agen", uop)
+            elif uop.is_store:
+                if half == ADDR:
+                    self._schedule(self.cycle + 1, _P_STORE_ADDR, "store_addr", uop)
+                else:
+                    self._schedule(self.cycle + 1, _P_STORE_DATA, "store_data", uop)
+            else:
+                latency = max(1, uop.op_latency)
+                if uop.op_is_div:
+                    self._div_busy_until = self.cycle + latency
+                if uop.op_is_branch or uop.instr.op == Opcode.JALR:
+                    # Branches resolve deeper in the pipeline: their
+                    # shadow stays open through regread/execute/BRU.
+                    latency += self.config.branch_resolve_extra
+                self._schedule(self.cycle + latency, _P_COMPLETE, "complete_alu", uop)
+
+    # ------------------------------------------------------------------
+    # Rename / dispatch.
+    # ------------------------------------------------------------------
+
+    def _rename_dispatch(self):
+        cfg = self.config
+        renamed = 0
+        while renamed < cfg.width:
+            entry = self.fetch.peek_ready(self.cycle)
+            if entry is None:
+                if renamed == 0:
+                    self.stats.stall_frontend_empty += 1
+                break
+            instr = entry.instr
+            if len(self.rob) >= cfg.rob_entries:
+                self.stats.stall_rob_full += 1
+                break
+            if self.iq.is_full:
+                self.stats.stall_iq_full += 1
+                break
+            if instr.is_load and self.lsu.ldq_full:
+                self.stats.stall_ldq_full += 1
+                break
+            if instr.is_store and self.lsu.stq_full:
+                self.stats.stall_stq_full += 1
+                break
+            needs_dest = instr.writes_rd and instr.rd != 0
+            if needs_dest and self.rename.free_regs() == 0:
+                self.stats.stall_no_phys_regs += 1
+                break
+            casts_c_shadow = instr.is_branch or instr.op == Opcode.JALR
+            if casts_c_shadow and self.rename.free_checkpoints() == 0:
+                self.stats.stall_no_checkpoint += 1
+                break
+
+            self.fetch.pop()
+            uop = MicroOp(self.next_seq, entry.pc, instr, entry.fetch_cycle)
+            self.next_seq += 1
+            uop.rename_cycle = self.cycle
+            uop.pred_taken = entry.pred_taken
+            uop.pred_target = entry.pred_target
+            uop.ghr_at_predict = entry.ghr_before
+
+            self.rename.rename_sources(uop)
+            if self.rename.rename_dest(uop) is not None:
+                self.prf.mark_alloc(uop.prd)
+
+            self.rob.append(uop)
+            uop.in_rob = True
+            self.iq.add(uop)
+
+            if casts_c_shadow:
+                checkpoint = self.rename.create_checkpoint(uop, entry.ghr_before)
+                self.shadows.cast(uop.seq, C_SHADOW)
+                self.scheme.on_checkpoint_create(uop, checkpoint)
+            if instr.is_store:
+                self.lsu.add_store(uop)
+            elif instr.is_load:
+                self.lsu.add_load(uop)
+
+            self.scheme.on_rename_uop(uop)
+            renamed += 1
+
+    # ------------------------------------------------------------------
+    # Recovery.
+    # ------------------------------------------------------------------
+
+    def _process_squash(self):
+        uop = self._pending_squash
+        self._pending_squash = None
+        if uop is None or uop.killed:
+            return
+        if uop.is_branch:
+            self.stats.branch_mispredicts += 1
+        else:
+            self.stats.jalr_mispredicts += 1
+
+        seq = uop.seq
+        squashed = [u for u in self.rob if u.seq > seq]
+        for victim in squashed:
+            victim.kill()
+        self.rob = deque(u for u in self.rob if u.seq <= seq)
+        self.iq.squash_younger(seq)
+        self.lsu.squash_younger(seq)
+        self.shadows.squash_younger(seq)
+        for stale in [k for k, u in self.d_pending.items() if u.killed]:
+            del self.d_pending[stale]
+
+        checkpoint = self.rename.restore_checkpoint(uop.checkpoint_id, squashed)
+        uop.checkpoint_id = None
+        self.predictor.restore(checkpoint.ghr)
+        if uop.is_branch:
+            self.predictor.push_history(uop.taken)
+        self.scheme.on_checkpoint_restore(uop, checkpoint)
+
+        self.fetch.redirect(
+            uop.actual_target, self.cycle + 1 + self.config.redirect_penalty
+        )
+        self.stats.squashed_uops += len(squashed)
+        # The visibility point may have advanced (squashed shadows).
+        vp = self.shadows.visibility_point()
+        self.vp_now = self.next_seq if vp is None else vp
+
+    def _flush_all(self, head):
+        """Ordering violation at the ROB head: flush and refetch."""
+        self.stats.order_violation_flushes += 1
+        self.stats.squashed_uops += len(self.rob)
+        for victim in self.rob:
+            victim.kill()
+        self.rob.clear()
+        self.iq.flush()
+        self.lsu.flush()
+        self.shadows.clear()
+        self.d_pending.clear()
+        self.rename.flush_all()
+        self.scheme.on_flush_all()
+        self._pending_squash = None
+        self.fetch.redirect(head.pc, self.cycle + 1 + self.config.redirect_penalty)
+        vp = self.shadows.visibility_point()
+        self.vp_now = self.next_seq if vp is None else vp
+        # Commit made no progress this cycle, but the flush is progress.
+        self._last_commit_cycle = self.cycle
+
+    # ------------------------------------------------------------------
+    # Diagnostics.
+    # ------------------------------------------------------------------
+
+    def _deadlock_report(self):
+        lines = [
+            "no commit for %d cycles at cycle %d (%s on %s/%s)"
+            % (
+                self.watchdog_cycles,
+                self.cycle,
+                self.program.name,
+                self.config.name,
+                self.scheme.name,
+            )
+        ]
+        if self.rob:
+            head = self.rob[0]
+            lines.append(
+                "ROB head: %r completed=%s addr_issued=%s data_issued=%s yrot=%s"
+                % (head, head.completed, head.addr_issued, head.data_issued, head.yrot)
+            )
+        lines.append("shadows: %s" % self.shadows.active_shadows()[:8])
+        lines.append("vp_now=%d next_seq=%d" % (self.vp_now, self.next_seq))
+        lines.append("iq=%d rob=%d" % (len(self.iq), len(self.rob)))
+        return "; ".join(lines)

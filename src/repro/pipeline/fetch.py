@@ -1,0 +1,123 @@
+"""Decoupled front end: fetch + predict into a fetch buffer.
+
+Fetches up to ``width`` instructions per cycle, following predicted
+control flow (a taken control instruction ends the fetch group).
+Fetched entries become visible to rename ``frontend_depth`` cycles
+later, modelling the fetch/decode pipeline depth; mispredict redirects
+additionally pay ``redirect_penalty`` cycles before fetch resumes.
+"""
+
+from collections import deque
+
+
+class FetchEntry:
+    """One fetched instruction plus its prediction metadata."""
+
+    __slots__ = (
+        "pc",
+        "instr",
+        "fetch_cycle",
+        "pred_taken",
+        "pred_target",
+        "ghr_before",
+    )
+
+    def __init__(self, pc, instr, fetch_cycle):
+        self.pc = pc
+        self.instr = instr
+        self.fetch_cycle = fetch_cycle
+        self.pred_taken = False
+        self.pred_target = None
+        self.ghr_before = None
+
+
+class FetchUnit:
+    """Program counter, predictor interface, and the fetch buffer."""
+
+    def __init__(self, core, program, predictor, btb):
+        self.core = core
+        self.config = core.config
+        self.program = program
+        self.predictor = predictor
+        self.btb = btb
+        self.queue = deque()
+        self.fetch_pc = program.entry
+        self.stalled_until = 0
+        self.halted = False
+
+    # -- per-cycle fetch -----------------------------------------------------
+
+    def do_cycle(self, cycle):
+        if self.halted or cycle < self.stalled_until:
+            return
+        budget = self.config.width
+        program_len = len(self.program)
+        while budget > 0 and len(self.queue) < self.config.fetch_buffer_entries:
+            if not 0 <= self.fetch_pc < program_len:
+                # Wrong-path fetch ran off the program; wait for the
+                # inevitable squash to redirect us.
+                self.halted = True
+                return
+            pc = self.fetch_pc
+            instr = self.program[pc]
+            entry = FetchEntry(pc, instr, cycle)
+            self.core.stats.fetched_instructions += 1
+            budget -= 1
+
+            if instr.op.value == "halt":
+                self.queue.append(entry)
+                self.halted = True
+                return
+
+            if instr.is_branch:
+                entry.ghr_before = self.predictor.snapshot()
+                taken = self.predictor.predict(pc)
+                entry.pred_taken = taken
+                entry.pred_target = instr.imm if taken else pc + 1
+                self.queue.append(entry)
+                self.fetch_pc = entry.pred_target
+                if taken:
+                    return  # taken control ends the fetch group
+                continue
+
+            if instr.op.value == "jal":
+                entry.pred_taken = True
+                entry.pred_target = instr.imm
+                self.queue.append(entry)
+                self.fetch_pc = instr.imm
+                return
+
+            if instr.op.value == "jalr":
+                entry.ghr_before = self.predictor.snapshot()
+                predicted = self.btb.predict(pc)
+                entry.pred_taken = True
+                entry.pred_target = predicted if predicted is not None else pc + 1
+                self.queue.append(entry)
+                self.fetch_pc = entry.pred_target
+                return
+
+            self.queue.append(entry)
+            self.fetch_pc = pc + 1
+
+    # -- rename-side interface ---------------------------------------------------
+
+    def peek_ready(self, cycle):
+        """Oldest entry old enough to have cleared the front end, or None."""
+        if not self.queue:
+            return None
+        entry = self.queue[0]
+        if entry.fetch_cycle + self.config.frontend_depth > cycle:
+            return None
+        return entry
+
+    def pop(self):
+        return self.queue.popleft()
+
+    # -- recovery ------------------------------------------------------------------
+
+    def redirect(self, pc, resume_cycle):
+        """Squash the buffer and restart fetch at ``pc``."""
+        self.queue.clear()
+        self.fetch_pc = pc
+        self.stalled_until = resume_cycle
+        self.halted = False

@@ -1,0 +1,211 @@
+"""Issue queue: wakeup, select, speculative scheduling, replay.
+
+Selection is oldest-first over entries whose operands are usable and
+whose scheme-level ready mask is clear.  Three structural limits apply
+per cycle: total issue width, memory ports (loads and store halves),
+and the unpipelined divider.
+
+Stores are single entries with two independently-issuing halves
+(address and data) — BOOM's unified store micro-op.  If both operand
+halves are ready the store issues once, performing both; otherwise it
+partially issues (Section 9.2).
+
+Speculative scheduling: loads that miss in the L1 still broadcast a
+speculative wakeup at hit latency; consumers that issued on a
+speculative operand stay in the queue until the operand confirms, and
+are replayed (returned to the not-issued state) when the wakeup is
+killed.  NDA's configuration disables speculative wakeups entirely.
+"""
+
+from repro.pipeline.uop import ADDR, DATA, WHOLE
+
+
+class IssueQueue:
+    """Out-of-order scheduler over in-flight micro-ops."""
+
+    def __init__(self, core):
+        self.core = core
+        self.config = core.config
+        self.entries = []
+
+    def __len__(self):
+        return len(self.entries)
+
+    @property
+    def is_full(self):
+        return len(self.entries) >= self.config.iq_entries
+
+    def add(self, uop):
+        self.entries.append(uop)
+
+    def squash_younger(self, seq):
+        """Remove entries younger than ``seq`` (misprediction squash)."""
+        self.entries = [u for u in self.entries if u.seq <= seq]
+
+    def flush(self):
+        self.entries = []
+
+    # -- select -----------------------------------------------------------
+
+    def select_and_issue(self, cycle):
+        """Pick winners for this cycle and hand them to the core.
+
+        Returns the list of (uop, half) pairs actually sent to execute.
+        """
+        core = self.core
+        prf = core.prf
+        state = prf.state
+        scheme = core.scheme
+        slots = self.config.issue_width
+        mem_slots = self.config.mem_width
+        issued = []
+        done_entries = []
+        div_granted = False
+
+        for uop in self.entries:
+            if slots <= 0:
+                break
+            if uop.op_is_store:
+                slots, mem_slots = self._try_store(
+                    uop, cycle, slots, mem_slots, issued
+                )
+                if uop.addr_issued and uop.data_issued and not uop.spec_deps:
+                    done_entries.append(uop)
+                continue
+
+            if uop.addr_issued:
+                continue  # waiting for a speculative source to confirm
+            if uop.op_is_load and mem_slots <= 0:
+                continue
+            # Inline operand-usable check (hot path).
+            prs1 = uop.prs1
+            if prs1 is not None and state[prs1] == 0:
+                continue
+            prs2 = uop.prs2
+            if prs2 is not None and state[prs2] == 0:
+                continue
+            if scheme.blocks_issue(uop, WHOLE):
+                core.stats.taint_blocked_issues += 1
+                continue
+            if uop.op_is_div:
+                # One unpipelined divider: a single grant per cycle,
+                # and only once the previous division has drained.
+                if div_granted or not core.div_free(cycle):
+                    continue
+                div_granted = True
+
+            slots -= 1
+            if not scheme.on_issue(uop, WHOLE, cycle):
+                core.stats.wasted_issue_slots += 1
+                continue
+
+            if uop.op_is_load:
+                mem_slots -= 1
+            spec = self._spec_sources(uop)
+            uop.spec_deps = spec if spec else None
+            uop.addr_issued = True
+            uop.issue_cycle = cycle
+            issued.append((uop, WHOLE))
+            if not spec:
+                done_entries.append(uop)
+
+        for uop in done_entries:
+            self.entries.remove(uop)
+        return issued
+
+    def _try_store(self, uop, cycle, slots, mem_slots, issued):
+        """Attempt (partial) issue of a store's address/data halves."""
+        core = self.core
+        state = core.prf.state
+        scheme = core.scheme
+
+        addr_ready = not uop.addr_issued and (
+            uop.prs1 is None or state[uop.prs1] == 2
+        )
+        data_ready = not uop.data_issued and (
+            uop.prs2 is None or state[uop.prs2] == 2
+        )
+        if addr_ready and scheme.blocks_issue(uop, ADDR):
+            core.stats.taint_blocked_issues += 1
+            addr_ready = False
+        if data_ready and scheme.blocks_issue(uop, DATA):
+            core.stats.taint_blocked_issues += 1
+            data_ready = False
+        if not addr_ready and not data_ready:
+            return slots, mem_slots
+        if mem_slots <= 0:
+            return slots, mem_slots
+
+        # One issue slot covers whichever halves fire this cycle
+        # (unified micro-op: a single scheduler grant).
+        slots -= 1
+        mem_slots -= 1
+
+        if addr_ready:
+            if scheme.on_issue(uop, ADDR, cycle):
+                uop.addr_issued = True
+                if not uop.data_issued and not data_ready:
+                    core.stats.partial_store_issues += 1
+                issued.append((uop, ADDR))
+            else:
+                core.stats.wasted_issue_slots += 1
+                return slots, mem_slots
+        if data_ready:
+            if scheme.on_issue(uop, DATA, cycle):
+                uop.data_issued = True
+                issued.append((uop, DATA))
+            else:
+                core.stats.wasted_issue_slots += 1
+        if uop.issue_cycle is None and (uop.addr_issued or uop.data_issued):
+            uop.issue_cycle = cycle
+        return slots, mem_slots
+
+    def _operands_usable(self, uop):
+        prf = self.core.prf
+        if uop.prs1 is not None and not prf.is_usable(uop.prs1):
+            return False
+        if uop.prs2 is not None and not prf.is_usable(uop.prs2):
+            return False
+        return True
+
+    def _spec_sources(self, uop):
+        prf = self.core.prf
+        spec = set()
+        if uop.prs1 is not None and prf.is_spec(uop.prs1):
+            spec.add(uop.prs1)
+        if uop.prs2 is not None and prf.is_spec(uop.prs2):
+            spec.add(uop.prs2)
+        return spec
+
+    # -- speculative wakeup bookkeeping ------------------------------------
+
+    def confirm_spec(self, preg):
+        """A speculative wakeup proved correct: release entries whose
+        only reason for staying was waiting on ``preg``."""
+        survivors = []
+        for uop in self.entries:
+            if uop.spec_deps and preg in uop.spec_deps:
+                uop.spec_deps.discard(preg)
+                if not uop.spec_deps and uop.fully_issued:
+                    uop.spec_deps = None
+                    continue  # drop from queue: issue confirmed
+                if not uop.spec_deps:
+                    uop.spec_deps = None
+            survivors.append(uop)
+        self.entries = survivors
+
+    def kill_spec(self, preg):
+        """A speculative wakeup was wrong (L1 miss): replay consumers.
+
+        Returns the replayed micro-ops (the core cancels their
+        scheduled events via the generation bump in ``replay``).
+        """
+        replayed = []
+        for uop in self.entries:
+            if uop.spec_deps and preg in uop.spec_deps:
+                uop.replay()
+                replayed.append(uop)
+        return replayed
+
+    def occupancy(self):
+        return len(self.entries)

@@ -1,0 +1,151 @@
+"""Load-store unit: queues, forwarding, memory-dependence speculation.
+
+Loads execute optimistically: once their address is generated they
+search the store queue for the youngest older store with a matching
+known address.  A match with ready data forwards; a match without data
+waits; no match goes to memory *even if older stores have unknown
+addresses* — that is memory-dependence speculation, tracked as a
+D-shadow.  When a store's address later resolves and matches a younger
+load that already obtained data from elsewhere, the load is flagged
+with an ordering violation (a store-to-load forwarding error,
+Section 9.2) and the pipeline flushes when it reaches the ROB head.
+
+This optimistic policy is what makes STT-Rename's blocked store
+address generation expensive: tainted stores keep their addresses out
+of the store queue, so younger loads cannot forward and later flush —
+the exchange2 anomaly of Section 8.1.
+"""
+
+from repro.isa.interp import to_unsigned64
+
+
+class LoadStoreUnit:
+    """LDQ + STQ with forwarding and violation detection."""
+
+    def __init__(self, core):
+        self.core = core
+        self.config = core.config
+        self.ldq = []
+        self.stq = []
+
+    # -- capacity ---------------------------------------------------------
+
+    @property
+    def ldq_full(self):
+        return len(self.ldq) >= self.config.ldq_entries
+
+    @property
+    def stq_full(self):
+        return len(self.stq) >= self.config.stq_entries
+
+    def add_load(self, uop):
+        self.ldq.append(uop)
+
+    def add_store(self, uop):
+        self.stq.append(uop)
+
+    # -- load execution -----------------------------------------------------
+
+    def load_agen(self, uop, cycle):
+        """Address generation completed: forward, wait, or access memory."""
+        core = self.core
+        base = core.prf.read(uop.prs1) if uop.prs1 is not None else 0
+        address = to_unsigned64(base + uop.instr.imm)
+        uop.address = address
+
+        pending = {
+            store.seq
+            for store in self.stq
+            if store.seq < uop.seq and not store.addr_done
+        }
+        if pending:
+            uop.pending_stores = pending
+            core.d_pending[uop.seq] = uop
+
+        match = self._youngest_matching_store(uop.seq, address)
+        if match is not None:
+            if match.data_done:
+                core.stats.store_forwards += 1
+                uop.forwarded_from = match.seq
+                core.schedule_load_complete(
+                    uop, cycle + self.config.mem.l1_latency, match.mem_value
+                )
+            else:
+                uop.waiting_on_store = match.seq
+            return
+
+        latency, _level = core.hierarchy.access(address, pc=uop.pc)
+        value = core.memory.get(address, 0)
+        core.schedule_load_complete(uop, cycle + latency, value)
+        hit_latency = self.config.mem.l1_latency
+        if latency > hit_latency and core.scheme.allows_spec_hit_wakeup:
+            core.schedule_spec_wakeup(uop, cycle + hit_latency)
+
+    def _youngest_matching_store(self, load_seq, address):
+        match = None
+        for store in self.stq:
+            if store.seq >= load_seq:
+                break
+            if store.addr_done and store.address == address:
+                match = store
+        return match
+
+    # -- store execution ------------------------------------------------------
+
+    def store_addr_ready(self, uop, cycle):
+        """A store's address resolved: check younger loads for ordering
+        violations (stale data read past this store), and clear this
+        store from their memory-dependence speculation sets."""
+        for load in self.ldq:
+            if load.pending_stores and uop.seq in load.pending_stores:
+                load.pending_stores.discard(uop.seq)
+                if not load.pending_stores:
+                    self.core.d_pending.pop(load.seq, None)
+            if load.seq <= uop.seq or load.address != uop.address:
+                continue
+            if load.order_violation:
+                continue
+            if load.forwarded_from is not None and load.forwarded_from > uop.seq:
+                continue  # forwarded from a store younger than this one
+            if load.waiting_on_store is not None and load.waiting_on_store > uop.seq:
+                continue  # will forward from a younger store
+            if load.address is None:
+                continue  # not yet executed: will see this store's address
+            load.order_violation = True
+            self.core.stats.stl_forward_errors += 1
+
+    def store_data_ready(self, uop, cycle):
+        """A store's data arrived: wake loads waiting to forward from it."""
+        for load in self.ldq:
+            if load.waiting_on_store == uop.seq:
+                load.waiting_on_store = None
+                load.forwarded_from = uop.seq
+                self.core.stats.store_forwards += 1
+                self.core.schedule_load_complete(
+                    load, cycle + self.config.mem.l1_latency, uop.mem_value
+                )
+
+    # -- retirement / recovery ---------------------------------------------------
+
+    def commit_load(self, uop):
+        if self.ldq and self.ldq[0] is uop:
+            self.ldq.pop(0)
+        else:  # pragma: no cover - defensive; commits are in order
+            self.ldq.remove(uop)
+
+    def commit_store(self, uop):
+        if self.stq and self.stq[0] is uop:
+            self.stq.pop(0)
+        else:  # pragma: no cover - defensive; commits are in order
+            self.stq.remove(uop)
+
+    def squash_younger(self, seq):
+        self.ldq = [u for u in self.ldq if u.seq <= seq]
+        self.stq = [u for u in self.stq if u.seq <= seq]
+
+    def flush(self):
+        self.ldq = []
+        self.stq = []
+
+    def occupancy(self):
+        return len(self.ldq), len(self.stq)

@@ -1,0 +1,64 @@
+"""Physical register file: values plus readiness state.
+
+Readiness has three states to support speculative L1-hit scheduling:
+
+* ``NOT_READY`` — producer has not broadcast.
+* ``SPEC_READY`` — a load predicted to hit L1 broadcast a speculative
+  wakeup; consumers may issue but can be replayed if the load misses.
+* ``READY`` — the value is architecturally available.
+"""
+
+NOT_READY = 0
+SPEC_READY = 1
+READY = 2
+
+
+class PhysRegFile:
+    """Physical register values and ready bits."""
+
+    def __init__(self, num_regs):
+        if num_regs < 33:
+            raise ValueError("need more than 32 physical registers")
+        self.num_regs = num_regs
+        self.values = [0] * num_regs
+        self.state = [READY] * num_regs
+
+    def mark_alloc(self, preg):
+        """A freshly-allocated destination is not ready until written."""
+        self.state[preg] = NOT_READY
+
+    def write(self, preg, value):
+        """Write a produced value and mark the register READY."""
+        self.values[preg] = value
+        self.state[preg] = READY
+
+    def write_value_only(self, preg, value):
+        """Write the value but keep the current readiness (NDA's split
+        data-write / broadcast: data lands in the register file while
+        the broadcast is withheld)."""
+        self.values[preg] = value
+
+    def set_spec_ready(self, preg):
+        if self.state[preg] == NOT_READY:
+            self.state[preg] = SPEC_READY
+
+    def revoke_spec(self, preg):
+        """A speculative wakeup turned out wrong (L1 miss)."""
+        if self.state[preg] == SPEC_READY:
+            self.state[preg] = NOT_READY
+
+    def set_ready(self, preg):
+        self.state[preg] = READY
+
+    def is_ready(self, preg):
+        return self.state[preg] == READY
+
+    def is_usable(self, preg):
+        """Ready or speculatively ready (issue may proceed)."""
+        return self.state[preg] != NOT_READY
+
+    def is_spec(self, preg):
+        return self.state[preg] == SPEC_READY
+
+    def read(self, preg):
+        return self.values[preg]

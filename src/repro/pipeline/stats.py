@@ -1,0 +1,103 @@
+"""Simulation statistics counters.
+
+The paper extracts key performance indicators with TraceDoctor
+(committed instructions, latencies, stalls and their causes,
+store-to-load forwarding errors); these counters are the model's
+equivalent and feed Section 9.2-style analyses directly.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SimStats:
+    """Counters collected over one simulation run."""
+
+    cycles: int = 0
+    committed_instructions: int = 0
+    committed_loads: int = 0
+    committed_stores: int = 0
+    committed_branches: int = 0
+
+    branch_mispredicts: int = 0
+    jalr_mispredicts: int = 0
+
+    #: Store-to-load forwarding errors (memory ordering violations) —
+    #: the Section 9.2 exchange2 counter.
+    stl_forward_errors: int = 0
+    order_violation_flushes: int = 0
+    store_forwards: int = 0
+
+    #: Loads replayed because a speculative L1-hit wakeup missed.
+    spec_wakeup_kills: int = 0
+    replayed_uops: int = 0
+
+    #: Issue slots wasted by STT-Issue tainted-transmitter nops (4 in
+    #: Figure 4) and by replays.
+    wasted_issue_slots: int = 0
+
+    #: Issue attempts blocked because a transmitter's YRoT was unsafe.
+    taint_blocked_issues: int = 0
+    #: NDA: load broadcasts deferred past completion.
+    deferred_broadcasts: int = 0
+    #: NDA: cycles a completed load waited for its broadcast.
+    deferred_broadcast_cycles: int = 0
+
+    #: Stores that issued address generation before data (partial issue).
+    partial_store_issues: int = 0
+
+    # Stall causes, counted per rename slot per cycle.
+    stall_rob_full: int = 0
+    stall_iq_full: int = 0
+    stall_ldq_full: int = 0
+    stall_stq_full: int = 0
+    stall_no_phys_regs: int = 0
+    stall_no_checkpoint: int = 0
+    stall_frontend_empty: int = 0
+
+    fetched_instructions: int = 0
+    squashed_uops: int = 0
+
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def ipc(self):
+        """Committed instructions per cycle."""
+        if self.cycles == 0:
+            return 0.0
+        return self.committed_instructions / self.cycles
+
+    @property
+    def mpki(self):
+        """Branch mispredicts per thousand committed instructions."""
+        if self.committed_instructions == 0:
+            return 0.0
+        total = self.branch_mispredicts + self.jalr_mispredicts
+        return 1000.0 * total / self.committed_instructions
+
+    def as_dict(self):
+        """Flatten to a plain dict (including derived rates)."""
+        data = {
+            name: getattr(self, name)
+            for name in self.__dataclass_fields__
+            if name != "extra"
+        }
+        data.update(self.extra)
+        data["ipc"] = self.ipc
+        data["mpki"] = self.mpki
+        return data
+
+    def summary(self):
+        """Short human-readable summary string."""
+        return (
+            "cycles=%d instructions=%d IPC=%.3f mispredicts=%d "
+            "stl_errors=%d flushes=%d"
+            % (
+                self.cycles,
+                self.committed_instructions,
+                self.ipc,
+                self.branch_mispredicts + self.jalr_mispredicts,
+                self.stl_forward_errors,
+                self.order_violation_flushes,
+            )
+        )

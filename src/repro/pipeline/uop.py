@@ -1,0 +1,188 @@
+"""Dynamic micro-op record.
+
+A :class:`MicroOp` wraps one dynamic instance of a static
+:class:`~repro.isa.instructions.Instruction` as it flows through the
+pipeline.  Stores are a *single* micro-op with two issue halves
+(address and data), mirroring BOOM's unified store micro-op whose
+partial-issue interaction with STT the paper analyses in Section 9.2.
+"""
+
+# Issue "halves" for micro-ops.  Plain ops use WHOLE; stores issue
+# ADDR and DATA independently.
+WHOLE = "whole"
+ADDR = "addr"
+DATA = "data"
+
+
+class MicroOp:
+    """One in-flight dynamic instruction."""
+
+    __slots__ = (
+        "seq",
+        "pc",
+        "instr",
+        # Renaming.
+        "prs1",
+        "prs2",
+        "prd",
+        "stale_prd",
+        "checkpoint_id",
+        # Branch prediction state.
+        "pred_taken",
+        "pred_target",
+        "ghr_at_predict",
+        # Dynamic status.
+        "in_rob",
+        "addr_issued",
+        "data_issued",
+        "completed",
+        "committed",
+        "killed",
+        "gen",
+        "mispredicted",
+        # Results.
+        "result",
+        "taken",
+        "actual_target",
+        # Memory.
+        "address",
+        "mem_value",
+        "ldq_index",
+        "stq_index",
+        "forwarded_from",
+        "order_violation",
+        "addr_done",
+        "data_done",
+        # Secure-speculation state.
+        "yrot",
+        "yrot_addr",
+        "yrot_data",
+        "stt_nop_issued",
+        # Speculative-wakeup bookkeeping.
+        "spec_deps",
+        "waiting_on_store",
+        # Older stores with unknown addresses this load executed past
+        # (memory-dependence speculation; emptied as they resolve).
+        "pending_stores",
+        # Timing bookkeeping.
+        "fetch_cycle",
+        "rename_cycle",
+        "issue_cycle",
+        "complete_cycle",
+        "commit_cycle",
+        # Cached classification (hot-path flags; see __init__).
+        "op_is_load",
+        "op_is_store",
+        "op_is_branch",
+        "op_is_transmitter",
+        "op_is_div",
+        "op_latency",
+    )
+
+    def __init__(self, seq, pc, instr, fetch_cycle=0):
+        self.seq = seq
+        self.pc = pc
+        self.instr = instr
+        info = instr.info
+        self.op_is_load = info.is_load
+        self.op_is_store = info.is_store
+        self.op_is_branch = info.is_branch
+        self.op_is_transmitter = info.is_transmitter
+        self.op_is_div = info.is_div
+        self.op_latency = info.latency
+        self.prs1 = None
+        self.prs2 = None
+        self.prd = None
+        self.stale_prd = None
+        self.checkpoint_id = None
+        self.pred_taken = False
+        self.pred_target = None
+        self.ghr_at_predict = None
+        self.in_rob = False
+        self.addr_issued = False
+        self.data_issued = False
+        self.completed = False
+        self.committed = False
+        self.killed = False
+        self.gen = 0
+        self.mispredicted = False
+        self.result = None
+        self.taken = False
+        self.actual_target = None
+        self.address = None
+        self.mem_value = None
+        self.ldq_index = None
+        self.stq_index = None
+        self.forwarded_from = None
+        self.order_violation = False
+        self.addr_done = False
+        self.data_done = False
+        self.yrot = None
+        self.yrot_addr = None
+        self.yrot_data = None
+        self.stt_nop_issued = False
+        self.spec_deps = None
+        self.waiting_on_store = None
+        self.pending_stores = None
+        self.fetch_cycle = fetch_cycle
+        self.rename_cycle = None
+        self.issue_cycle = None
+        self.complete_cycle = None
+        self.commit_cycle = None
+
+    # -- classification shortcuts -------------------------------------
+
+    @property
+    def is_load(self):
+        return self.op_is_load
+
+    @property
+    def is_store(self):
+        return self.op_is_store
+
+    @property
+    def is_branch(self):
+        return self.op_is_branch
+
+    @property
+    def is_control(self):
+        return self.instr.is_control
+
+    @property
+    def is_transmitter(self):
+        return self.op_is_transmitter
+
+    @property
+    def writes_reg(self):
+        return self.instr.writes_rd
+
+    @property
+    def fully_issued(self):
+        """Both halves issued (stores) or the single half issued."""
+        if self.op_is_store:
+            return self.addr_issued and self.data_issued
+        return self.addr_issued
+
+    def kill(self):
+        """Invalidate the micro-op and any scheduled events for it."""
+        self.killed = True
+        self.gen += 1
+
+    def replay(self):
+        """Return the micro-op to the not-issued state (wakeup replay)."""
+        self.gen += 1
+        self.addr_issued = False
+        self.data_issued = False
+        self.completed = False
+        self.result = None
+        self.spec_deps = None
+        self.waiting_on_store = None
+        self.pending_stores = None
+
+    def __repr__(self):
+        return "<uop #%d pc=%d %s%s>" % (
+            self.seq,
+            self.pc,
+            self.instr,
+            " KILLED" if self.killed else "",
+        )

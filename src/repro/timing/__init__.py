@@ -1,0 +1,48 @@
+"""Synthesis substitute: structural timing, area, and power models.
+
+The paper synthesizes BOOM RTL with Vitis for an Alveo U250 and reports
+achieved frequency (Figure 9/10), LUT/FF area, and power (Table 4).
+Offline, we substitute structural models over the same configuration
+record the IPC simulator uses:
+
+* :mod:`repro.timing.critpath` — per-stage delay equations in core
+  width / issue-queue size / physical registers, with per-scheme
+  deltas encoding exactly the paper's structural arguments: the serial
+  YRoT chain on STT-Rename's rename path, the flat taint-unit +
+  broadcast cost on STT-Issue's issue path, and the removed
+  speculative-hit scheduling for NDA.
+* :mod:`repro.timing.synthesis` — frequency search over the stage
+  delays (the model's "timing closure").
+* :mod:`repro.timing.area` — a structure census (state bits -> FF
+  proxies, combinational terms -> LUT proxies).
+* :mod:`repro.timing.power` — activity-based power fed by simulator
+  statistics plus a static term from the area census.
+"""
+
+from repro.timing.critpath import (
+    CriticalPathModel,
+    StageDelays,
+    scheme_stage_delays,
+)
+from repro.timing.synthesis import (
+    SynthesisResult,
+    achieved_frequency_mhz,
+    relative_timing,
+    synthesize,
+)
+from repro.timing.area import AreaReport, estimate_area
+from repro.timing.power import PowerReport, estimate_power
+
+__all__ = [
+    "CriticalPathModel",
+    "StageDelays",
+    "scheme_stage_delays",
+    "SynthesisResult",
+    "achieved_frequency_mhz",
+    "relative_timing",
+    "synthesize",
+    "AreaReport",
+    "estimate_area",
+    "PowerReport",
+    "estimate_power",
+]

@@ -1,0 +1,129 @@
+"""Area census: LUT and FF proxies per microarchitectural structure.
+
+The paper's Table 4 reports, for the Mega configuration synthesized at
+50 MHz, the area of each scheme normalised to the unsafe baseline:
+
+==========  =====  =====
+scheme      LUTs   FFs
+==========  =====  =====
+STT-Rename  1.060  1.094
+STT-Issue   1.059  1.039
+NDA         0.980  1.027
+==========  =====  =====
+
+The census counts state bits (FF proxies) and combinational terms
+(LUT proxies) per structure, with per-scheme additions that mirror the
+paper's qualitative attribution: STT-Rename's FF surplus comes from
+taint-RAT *checkpoints* (Section 4.2); STT-Issue trades those FFs for
+a physical-register-indexed taint table; NDA adds a few LSU flags but
+*removes* the speculative-hit scheduling logic, giving it a LUT
+reduction.
+"""
+
+import math
+from dataclasses import dataclass
+
+#: Width of a YRoT tag (enough to index the in-flight load window).
+YROT_TAG_BITS = 7
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """LUT/FF estimates for one (config, scheme) pair."""
+
+    config_name: str
+    scheme_name: str
+    luts: float
+    ffs: float
+
+    def relative_to(self, baseline):
+        return (self.luts / baseline.luts, self.ffs / baseline.ffs)
+
+
+def _baseline_ffs(cfg):
+    """State bits of the unprotected core."""
+    preg_bits = math.ceil(math.log2(cfg.num_phys_regs))
+    ffs = 0.0
+    ffs += cfg.num_phys_regs * 64                 # physical register file
+    ffs += cfg.rob_entries * 52                   # ROB payload
+    ffs += cfg.iq_entries * 46                    # issue-queue payload + ready
+    ffs += 32 * preg_bits                         # RAT
+    ffs += cfg.max_branches * 32 * preg_bits      # RAT checkpoints
+    ffs += cfg.ldq_entries * 86                   # LDQ (addr + state)
+    ffs += cfg.stq_entries * 150                  # STQ (addr + data + state)
+    ffs += 4096 * 2                               # direction predictor
+    ffs += cfg.btb_entries * 34                   # BTB
+    ffs += cfg.fetch_buffer_entries * 48          # fetch buffer
+    ffs += cfg.width * 350                        # pipeline registers
+    ffs += cfg.mem_width * 220                    # LSU pipeline registers
+    return ffs
+
+
+def _baseline_luts(cfg):
+    """Combinational logic of the unprotected core."""
+    w = cfg.width
+    luts = 0.0
+    luts += w * 900                               # ALUs
+    luts += 1500 + 350 * w                        # MUL/DIV shared logic
+    luts += w * w * 230                           # bypass network
+    luts += w * w * 120                           # rename cross-compare
+    luts += cfg.iq_entries * 2 * 9                # wakeup CAM
+    luts += cfg.iq_entries * math.log2(max(2, cfg.iq_entries)) * 6  # select
+    luts += (cfg.ldq_entries + cfg.stq_entries) * 26  # LSU search CAMs
+    luts += cfg.mem_width * 700                   # LSU datapaths
+    luts += 2200                                  # decode
+    luts += 1400                                  # fetch / next-PC
+    # Speculative L1-hit scheduling: kill/replay network (NDA removes).
+    luts += cfg.iq_entries * 8 + w * 140
+    return luts
+
+
+def _spec_hit_luts(cfg):
+    """The speculative-hit scheduling logic NDA removes."""
+    return cfg.iq_entries * 8 + cfg.width * 140
+
+
+def estimate_area(config, scheme_name):
+    """Area census for one scheme; returns an :class:`AreaReport`."""
+    cfg = config
+    name = scheme_name.lower()
+    ffs = _baseline_ffs(cfg)
+    luts = _baseline_luts(cfg)
+    preg_tag = YROT_TAG_BITS
+
+    if name in ("stt-rename", "stt_rename"):
+        # Taint RAT + a full copy per checkpoint (the FF surplus).
+        ffs += 32 * preg_tag
+        ffs += cfg.max_branches * 32 * preg_tag
+        ffs += cfg.iq_entries * preg_tag          # YRoT field per entry
+        # Serial YRoT comparators and muxes in rename; untaint
+        # broadcast comparators at every issue slot.
+        luts += cfg.width * (cfg.width + 1) * 30  # chain comparators/muxes
+        luts += 32 * 7                            # taint-RAT read/update
+        luts += cfg.iq_entries * 9                # broadcast compare
+        luts += cfg.width * 40                    # transmitter gating
+    elif name in ("stt-issue", "stt_issue"):
+        # Physical-register taint table (no checkpoints).
+        ffs += cfg.num_phys_regs * (preg_tag + 1)  # table + valid bits
+        ffs += cfg.iq_entries * (preg_tag + 2)     # YRoT field + ready mask
+        ffs += cfg.issue_width * 90                # taint-unit pipeline regs
+        luts += cfg.issue_width * 2 * 50          # taint-unit comparators
+        luts += cfg.num_phys_regs * 3              # table read/update muxing
+        luts += cfg.iq_entries * 9                 # broadcast compare
+        luts += cfg.width * 40                     # nop conversion / gating
+    elif name == "nda":
+        # Delayed-broadcast state: per-LDQ flags + release queue.
+        ffs += cfg.ldq_entries * (preg_tag + 2)
+        # Completion metadata held until the broadcast is released
+        # (Figure 5b's decoupled data-write / broadcast staging).
+        ffs += cfg.ldq_entries * 30
+        ffs += cfg.mem_width * 64
+        luts += cfg.ldq_entries * 9               # release scan
+        luts += cfg.mem_width * 120               # split write/broadcast mux
+        luts -= _spec_hit_luts(cfg)               # removed replay logic
+    elif name != "baseline":
+        raise ValueError("unknown scheme %r" % scheme_name)
+
+    return AreaReport(
+        config_name=cfg.name, scheme_name=scheme_name, luts=luts, ffs=ffs
+    )

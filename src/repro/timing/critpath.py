@@ -1,0 +1,239 @@
+"""Structural critical-path model (the RTL-synthesis substitute).
+
+Every pipeline stage gets a delay equation in the core's structural
+parameters.  Delays are in picoseconds, calibrated so the unsafe
+baseline lands in the BOOM-on-U250 frequency range of the paper's
+Figure 9 (about 158 / 124 / 98 / 79 MHz for Small..Mega), with the
+register-read + bypass network as the baseline-limiting stage — its
+quadratic width term is what makes wider cores clock lower.
+
+Scheme deltas implement the paper's structural arguments:
+
+* **STT-Rename** (Section 4.1): the YRoT computation chains through
+  the rename group — each slot's comparator+mux must see all older
+  slots' results within the same cycle (Figure 3).  The delay has a
+  flat taint-RAT access, a linear serial-chain term, and a quadratic
+  port/wiring term, so the rename stage overtakes the baseline
+  critical path for wide cores (~0.80x frequency at Mega).
+* **STT-Issue** (Section 4.3): YRoT computations are independent, but
+  the taint unit sits on the timing-sensitive issue path and the
+  untaint broadcast loads every issue slot — a mostly-flat cost that
+  bites once at Medium and grows slowly (Figure 10's "notable impact
+  for the Medium configuration, but only slight increases for wider").
+* **NDA** (Section 5): adds nearly nothing, and *removes* speculative
+  L1-hit scheduling from the bypass network, so NDA clocks at or above
+  the baseline.
+"""
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class StageDelays:
+    """Per-stage propagation delay in picoseconds."""
+
+    fetch: float
+    rename: float
+    issue: float
+    regread_bypass: float
+    execute: float
+    lsu: float
+    writeback: float
+
+    def as_dict(self):
+        return {
+            "fetch": self.fetch,
+            "rename": self.rename,
+            "issue": self.issue,
+            "regread_bypass": self.regread_bypass,
+            "execute": self.execute,
+            "lsu": self.lsu,
+            "writeback": self.writeback,
+        }
+
+    def critical(self):
+        """(stage name, delay) of the slowest stage."""
+        items = self.as_dict()
+        stage = max(items, key=items.get)
+        return stage, items[stage]
+
+
+class CriticalPathModel:
+    """Stage-delay equations for one core configuration."""
+
+    # -- calibration constants (ps) ------------------------------------
+    # Baseline: regread+bypass dominates; solved through the Figure 9
+    # anchor points (158 / 124 / ~98 / 79 MHz for widths 1..4).
+    _RB_BASE = 4650.0
+    _RB_LIN = 1175.0
+    _RB_QUAD = 187.0
+    #: Speculative L1-hit scheduling contribution inside the bypass
+    #: network (kill/replay selects); NDA removes it.
+    _SPEC_HIT_COEFF = 60.0
+
+    _FETCH_BASE = 2100.0
+    _FETCH_LIN = 420.0
+
+    _RENAME_BASE = 2200.0
+    _RENAME_LIN = 600.0
+    _RENAME_QUAD = 140.0
+
+    _ISSUE_BASE = 2500.0
+    _ISSUE_PER_ENTRY = 95.0
+    _ISSUE_LIN = 330.0
+    _ISSUE_SELECT = 240.0
+
+    _EXEC_BASE = 3400.0
+    _EXEC_LIN = 260.0
+
+    _LSU_BASE = 3300.0
+    _LSU_PER_ENTRY = 38.0
+
+    _WB_BASE = 2300.0
+    _WB_LIN = 300.0
+
+    # STT-Rename rename-path additions (Section 4.1 chain).
+    _STTR_FLAT = 1500.0   # taint-RAT access
+    _STTR_LINK = 1268.0   # serial comparator+mux per older slot
+    _STTR_PORT = 520.0    # port/wiring growth, quadratic in chain length
+
+    # STT-Issue issue-path additions (taint unit + YRoT broadcast).
+    _STTI_FLAT = 504.0
+    _STTI_PER_ENTRY = 131.0
+    #: Each memory pipe is an extra untaint-broadcast source the taint
+    #: unit must arbitrate (bites only on the two-port Mega).
+    _STTI_PER_MEM_PORT = 800.0
+
+    # Shared untaint broadcast loading on the issue path (STT-Rename).
+    _BCAST_FLAT = 300.0
+    _BCAST_PER_ENTRY = 30.0
+
+    # NDA: split data-write/broadcast mux in the LSU writeback path.
+    _NDA_LSU_FLAT = 150.0
+
+    def __init__(self, config):
+        self.config = config
+
+    # -- baseline stages -------------------------------------------------
+
+    def fetch_delay(self):
+        cfg = self.config
+        return self._FETCH_BASE + self._FETCH_LIN * cfg.width + 9.0 * math.log2(
+            max(2, cfg.btb_entries)
+        )
+
+    def rename_delay(self):
+        w = self.config.width
+        return self._RENAME_BASE + self._RENAME_LIN * w + self._RENAME_QUAD * w * w
+
+    def issue_delay(self):
+        cfg = self.config
+        return (
+            self._ISSUE_BASE
+            + self._ISSUE_PER_ENTRY * cfg.iq_entries
+            + self._ISSUE_LIN * cfg.issue_width
+            + self._ISSUE_SELECT * math.log2(max(2, cfg.iq_entries))
+        )
+
+    def regread_bypass_delay(self, with_spec_hit=True):
+        cfg = self.config
+        w = cfg.width
+        delay = (
+            self._RB_BASE
+            + self._RB_LIN * w
+            + self._RB_QUAD * w * w
+            + 45.0 * math.log2(max(2, cfg.num_phys_regs))
+        )
+        if with_spec_hit:
+            delay += self._SPEC_HIT_COEFF * (w ** 1.5)
+        return delay
+
+    def execute_delay(self):
+        return self._EXEC_BASE + self._EXEC_LIN * self.config.width
+
+    def lsu_delay(self):
+        cfg = self.config
+        return self._LSU_BASE + self._LSU_PER_ENTRY * (
+            cfg.ldq_entries + cfg.stq_entries
+        ) / 2.0 + 120.0 * cfg.mem_width
+
+    def writeback_delay(self):
+        cfg = self.config
+        return self._WB_BASE + self._WB_LIN * (cfg.width + cfg.mem_width)
+
+    def baseline_delays(self):
+        return StageDelays(
+            fetch=self.fetch_delay(),
+            rename=self.rename_delay(),
+            issue=self.issue_delay(),
+            regread_bypass=self.regread_bypass_delay(with_spec_hit=True),
+            execute=self.execute_delay(),
+            lsu=self.lsu_delay(),
+            writeback=self.writeback_delay(),
+        )
+
+    # -- scheme deltas --------------------------------------------------------
+
+    def stt_rename_chain_delay(self):
+        """Extra rename delay from the single-cycle YRoT chain."""
+        w = self.config.width
+        links = w - 1
+        return self._STTR_FLAT + self._STTR_LINK * links + self._STTR_PORT * links * links
+
+    def stt_issue_taint_delay(self):
+        """Extra issue delay from the taint unit + YRoT broadcast."""
+        cfg = self.config
+        return (
+            self._STTI_FLAT
+            + self._STTI_PER_ENTRY * cfg.iq_entries
+            + self._STTI_PER_MEM_PORT * (cfg.mem_width - 1)
+            + 20.0 * math.log2(max(2, cfg.num_phys_regs))
+        )
+
+    def broadcast_delay(self):
+        """Untaint broadcast loading on every issue slot (both STTs)."""
+        return self._BCAST_FLAT + self._BCAST_PER_ENTRY * self.config.iq_entries
+
+    def delays_for_scheme(self, scheme_name):
+        """Stage delays with one scheme's logic merged in."""
+        base = self.baseline_delays()
+        name = scheme_name.lower()
+        if name == "baseline":
+            return base
+        if name in ("stt-rename", "stt_rename"):
+            return StageDelays(
+                fetch=base.fetch,
+                rename=base.rename + self.stt_rename_chain_delay(),
+                issue=base.issue + self.broadcast_delay(),
+                regread_bypass=base.regread_bypass,
+                execute=base.execute,
+                lsu=base.lsu,
+                writeback=base.writeback,
+            )
+        if name in ("stt-issue", "stt_issue"):
+            return StageDelays(
+                fetch=base.fetch,
+                rename=base.rename,
+                issue=base.issue + self.stt_issue_taint_delay(),
+                regread_bypass=base.regread_bypass,
+                execute=base.execute,
+                lsu=base.lsu,
+                writeback=base.writeback,
+            )
+        if name == "nda":
+            return StageDelays(
+                fetch=base.fetch,
+                rename=base.rename,
+                issue=base.issue,
+                regread_bypass=self.regread_bypass_delay(with_spec_hit=False),
+                execute=base.execute,
+                lsu=base.lsu + self._NDA_LSU_FLAT,
+                writeback=base.writeback,
+            )
+        raise ValueError("unknown scheme %r" % scheme_name)
+
+
+def scheme_stage_delays(config, scheme_name):
+    """Convenience wrapper: StageDelays for (config, scheme)."""
+    return CriticalPathModel(config).delays_for_scheme(scheme_name)

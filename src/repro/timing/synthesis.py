@@ -1,0 +1,56 @@
+"""Frequency search over the critical-path model ("timing closure").
+
+The paper's Figure 9 reports, per configuration and scheme, which
+target frequencies met timing during synthesis.  The model equivalent:
+the achieved frequency is the reciprocal of the slowest stage delay,
+and a frequency target "meets timing" iff its period is at least that
+delay.  :func:`synthesize` also reports the critical stage, which is
+how the model exposes *why* a scheme slows down (rename for
+STT-Rename, issue for STT-Issue).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.timing.critpath import CriticalPathModel
+
+
+@dataclass(frozen=True)
+class SynthesisResult:
+    """Outcome of model "synthesis" for one (config, scheme) pair."""
+
+    config_name: str
+    scheme_name: str
+    frequency_mhz: float
+    critical_stage: str
+    critical_delay_ps: float
+    stage_delays: dict = field(default_factory=dict)
+
+    def meets_timing(self, target_mhz):
+        """Would this design close timing at ``target_mhz``?"""
+        return target_mhz <= self.frequency_mhz + 1e-9
+
+
+def synthesize(config, scheme_name):
+    """Run model synthesis; returns a :class:`SynthesisResult`."""
+    model = CriticalPathModel(config)
+    delays = model.delays_for_scheme(scheme_name)
+    stage, delay = delays.critical()
+    return SynthesisResult(
+        config_name=config.name,
+        scheme_name=scheme_name,
+        frequency_mhz=1e6 / delay,
+        critical_stage=stage,
+        critical_delay_ps=delay,
+        stage_delays=delays.as_dict(),
+    )
+
+
+def achieved_frequency_mhz(config, scheme_name):
+    """Highest frequency that closes timing, in MHz."""
+    return synthesize(config, scheme_name).frequency_mhz
+
+
+def relative_timing(config, scheme_name):
+    """Scheme frequency normalised to the unsafe baseline (Figure 10)."""
+    base = achieved_frequency_mhz(config, "baseline")
+    return achieved_frequency_mhz(config, scheme_name) / base

@@ -1,0 +1,36 @@
+"""Synthetic workload generation: the SPEC CPU2017 proxy suite.
+
+The paper runs SPEC CPU2017 on FPGA-synthesized BOOM cores.  Offline,
+we substitute 22 synthetic workloads — one per SPEC benchmark — whose
+*characteristics* (instruction mix, working-set size, pointer-chase
+depth, branch entropy, store-to-load forwarding distance) are chosen to
+match each benchmark's qualitative behaviour as described in the paper
+(e.g. ``bwaves`` streams with little scheme sensitivity; ``exchange2``
+hammers small memory regions with store/load traffic; ``mcf`` chases
+pointers).  See DESIGN.md for the substitution rationale.
+"""
+
+from repro.workloads.generator import WorkloadProfile, generate_program
+from repro.workloads.characteristics import (
+    SPEC_BENCHMARKS,
+    SPEC_PROFILES,
+    spec_profile,
+)
+from repro.workloads.kernels import (
+    chase_kernel,
+    forwarding_kernel,
+    streaming_kernel,
+)
+from repro.workloads.spec2017 import spec_suite
+
+__all__ = [
+    "WorkloadProfile",
+    "generate_program",
+    "SPEC_BENCHMARKS",
+    "SPEC_PROFILES",
+    "spec_profile",
+    "spec_suite",
+    "chase_kernel",
+    "forwarding_kernel",
+    "streaming_kernel",
+]

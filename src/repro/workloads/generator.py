@@ -1,0 +1,445 @@
+"""Parameterised synthetic program generator.
+
+A :class:`WorkloadProfile` describes a workload's character;
+:func:`generate_program` turns it into a concrete, terminating
+:class:`~repro.isa.program.Program`: one counted outer loop whose body
+is sampled from small templates (streaming loads, pointer chases,
+dependent ALU chains, stores with near reloads, data-dependent
+branches, multiplies/divides).  All sampling uses a seeded private
+RNG, so programs are fully reproducible.
+
+Register convention inside generated code:
+
+=========  ====================================================
+x1  (ra)   outer-loop counter
+x2  (sp)   array base (streaming region)
+x3  (gp)   pointer-chase cursor (holds an absolute address)
+x4  (tp)   scratch base (store/reload region)
+x5  (t0)   address scratch
+x6  (t1)   branch scratch
+x10..x17   data registers (ALU chains, load targets)
+x18..x25   secondary data pool
+=========  ====================================================
+"""
+
+import random
+import zlib
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import Program
+
+# Register roles (see module docstring).
+_R_COUNT = 1
+_R_BASE = 2
+_R_CURSOR = 3
+_R_SCRATCH_BASE = 4
+_R_ADDR = 5
+_R_BR = 6
+#: Destinations for loads (rotated so parallel loads stay independent).
+_LOAD_REGS = (10, 11, 12, 13)
+#: Chain accumulator registers (never load destinations).
+_ACC_REGS = (14, 15, 16, 17)
+_DATA_REGS = _LOAD_REGS + _ACC_REGS
+_POOL_REGS = tuple(range(18, 26))
+
+#: Word address where the streaming array begins.
+ARRAY_BASE = 0x1000
+#: Word address where the pointer-chase ring begins.
+RING_BASE = 0x100000
+#: Word address of the scratch (store/reload) region.
+SCRATCH_BASE = 0x200000
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Knobs describing one synthetic workload.
+
+    Template weights need not sum to one; they are normalised.  The
+    memory-related sizes are in words (the model ISA is word-addressed;
+    a cache line holds 8 words).
+    """
+
+    name: str = "synthetic"
+    #: Outer-loop iterations (dynamic length scales linearly).
+    iterations: int = 64
+    #: Instruction templates sampled per loop body block.
+    body_templates: int = 12
+    #: Independently sampled blocks per loop body.  Multiple blocks
+    #: average out template-order luck, keeping a benchmark's character
+    #: stable across seeds (one block can land in a pathological
+    #: scheduling regime; three rarely all do).
+    body_blocks: int = 3
+
+    # Template weights.
+    w_stream_load: float = 2.0
+    w_chase_load: float = 0.5
+    w_alu_chain: float = 3.0
+    w_ilp_alu: float = 2.0
+    w_store: float = 1.0
+    w_reload: float = 0.5
+    w_branch: float = 1.5
+    w_mul: float = 0.3
+    w_div: float = 0.05
+
+    #: Streaming working set in words (power of two).  Larger than the
+    #: L1 (4 KiB-equivalent = 4096 words) causes misses.
+    working_set_words: int = 2048
+    #: Pointer-chase ring size in words (power of two).
+    ring_words: int = 256
+    #: Scratch region size in words (power of two).  Small regions give
+    #: exchange2-style dense store-to-load traffic.
+    scratch_words: int = 64
+    #: Fraction of data-dependent branches whose direction is random
+    #: (1.0 = coin flips, 0.0 = perfectly biased).
+    branch_entropy: float = 0.3
+    #: Fraction of *predictable* branches that nevertheless test loaded
+    #: data, so they resolve only when the load returns.  Direction
+    #: predictability and resolution latency are independent: late but
+    #: predictable branches are free on the unsafe baseline yet keep
+    #: speculation shadows open — the cost secure schemes pay for.
+    branch_on_load: float = 0.5
+    #: Length of each dependent ALU chain.
+    chain_length: int = 3
+    #: Instructions between a store and its reload (small = forwarding).
+    reload_distance: int = 2
+    #: Probability that a reload targets the most recent store's slot
+    #: (store-to-load forwarding traffic; drives the Section 9.2
+    #: violations when STT-Rename blocks the store's address).
+    reload_match: float = 0.5
+    #: Stride, in words, of the streaming access pattern.
+    stream_stride: int = 1
+
+    #: Free-form notes (which SPEC benchmark this models, and why).
+    notes: str = ""
+
+    def weights(self):
+        return {
+            "stream_load": self.w_stream_load,
+            "chase_load": self.w_chase_load,
+            "alu_chain": self.w_alu_chain,
+            "ilp_alu": self.w_ilp_alu,
+            "store": self.w_store,
+            "reload": self.w_reload,
+            "branch": self.w_branch,
+            "mul": self.w_mul,
+            "div": self.w_div,
+        }
+
+
+class _Builder:
+    """Accumulates instructions with label/fixup support."""
+
+    def __init__(self):
+        self.instructions = []
+
+    def emit(self, op, rd=0, rs1=0, rs2=0, imm=0):
+        self.instructions.append(Instruction(op=op, rd=rd, rs1=rs1, rs2=rs2, imm=imm))
+        return len(self.instructions) - 1
+
+    def here(self):
+        return len(self.instructions)
+
+    def patch_target(self, index, target):
+        old = self.instructions[index]
+        self.instructions[index] = Instruction(
+            op=old.op, rd=old.rd, rs1=old.rs1, rs2=old.rs2, imm=target
+        )
+
+
+def generate_program(profile, seed=0):
+    """Generate a terminating program for ``profile``.
+
+    The program always halts: control flow is one counted outer loop
+    plus forward-only data-dependent skips.
+    """
+    # zlib.crc32 (not hash()) so programs are identical across processes.
+    name_hash = zlib.crc32(profile.name.encode("utf-8"))
+    rng = random.Random((seed * 1_000_003) ^ name_hash)
+    builder = _Builder()
+    memory = {}
+
+    _init_memory(profile, rng, memory)
+    _emit_prologue(profile, builder)
+
+    loop_top = builder.here()
+    flow = _Dataflow()
+    for _block in range(max(1, profile.body_blocks)):
+        templates = _sample_templates(profile, rng)
+        rng.shuffle(templates)
+        # Structure each block like a real loop iteration: a load leads
+        # (so chains and branches have a fresh root — without it the
+        # dataflow web closes over loop-invariant registers and the
+        # schemes have nothing to protect), and one branch trails the
+        # computation (so its shadow covers the next block's loads).
+        for position, template in enumerate(templates):
+            if template in ("stream_load", "chase_load", "reload"):
+                templates.insert(0, templates.pop(position))
+                break
+        else:
+            templates.insert(0, "stream_load")
+        if "branch" in templates[1:]:
+            last = len(templates) - 1 - templates[::-1].index("branch")
+            templates.append(templates.pop(last))
+        for template in templates:
+            _EMITTERS[template](profile, builder, rng, flow)
+
+    # Loop control: decrement and branch back.
+    builder.emit(Opcode.ADDI, rd=_R_COUNT, rs1=_R_COUNT, imm=-1)
+    builder.emit(Opcode.BNE, rs1=_R_COUNT, rs2=0, imm=loop_top)
+    # Publish one result so the work cannot be considered dead.
+    builder.emit(Opcode.SW, rs1=0, rs2=_DATA_REGS[0], imm=8)
+    builder.emit(Opcode.HALT)
+
+    program = Program(
+        instructions=builder.instructions,
+        initial_memory=memory,
+        name=profile.name,
+    )
+    program.validate()
+    return program
+
+
+def _init_memory(profile, rng, memory):
+    """Seed the streaming array, pointer ring, and scratch region."""
+    for i in range(profile.working_set_words):
+        memory[ARRAY_BASE + i] = rng.randrange(0, 1 << 16)
+    # Pointer ring: cell i holds the address of the next cell, in a
+    # shuffled ring so hardware prefetchers cannot follow it.
+    indices = list(range(profile.ring_words))
+    rng.shuffle(indices)
+    for position in range(profile.ring_words):
+        current = indices[position]
+        nxt = indices[(position + 1) % profile.ring_words]
+        memory[RING_BASE + current] = RING_BASE + nxt
+    for i in range(profile.scratch_words):
+        memory[SCRATCH_BASE + i] = rng.randrange(0, 1 << 16)
+
+
+def _emit_prologue(profile, builder):
+    builder.emit(Opcode.LI, rd=_R_COUNT, imm=profile.iterations)
+    builder.emit(Opcode.LI, rd=_R_BASE, imm=ARRAY_BASE)
+    builder.emit(Opcode.LI, rd=_R_CURSOR, imm=RING_BASE)
+    builder.emit(Opcode.LI, rd=_R_SCRATCH_BASE, imm=SCRATCH_BASE)
+    for offset, reg in enumerate(_DATA_REGS + _POOL_REGS):
+        builder.emit(Opcode.LI, rd=reg, imm=offset * 7 + 1)
+
+
+class _Dataflow:
+    """Tracks the freshest value-producing registers while emitting.
+
+    ``newest`` is the most recently produced load result or chain
+    accumulator — the register the next consumer (chain, branch, store)
+    should read so the body forms load -> compute -> control/memory
+    cascades within one iteration, like real loop bodies do.
+    """
+
+    def __init__(self):
+        self.recent = []
+        self.recent_loads = []
+        self.last_store_slot = None
+        self._load_slot = 0
+        self._acc_slot = 0
+
+    def next_load_reg(self):
+        reg = _LOAD_REGS[self._load_slot % len(_LOAD_REGS)]
+        self._load_slot += 1
+        return reg
+
+    def next_acc_reg(self):
+        reg = _ACC_REGS[self._acc_slot % len(_ACC_REGS)]
+        self._acc_slot += 1
+        return reg
+
+    def produced(self, reg, is_load=False):
+        self.recent.append(reg)
+        del self.recent[:-4]
+        if is_load:
+            self.recent_loads.append(reg)
+            del self.recent_loads[:-3]
+
+    def newest(self, rng, fallback=None):
+        if self.recent:
+            return self.recent[-1]
+        return fallback if fallback is not None else rng.choice(_DATA_REGS)
+
+    def any_recent(self, rng, fallback=None):
+        if self.recent:
+            return rng.choice(self.recent)
+        return fallback if fallback is not None else rng.choice(_DATA_REGS)
+
+    def newest_load(self, rng):
+        if self.recent_loads:
+            return self.recent_loads[-1]
+        return self.newest(rng)
+
+
+def _sample_templates(profile, rng):
+    """Deterministic template quotas (largest-remainder apportionment).
+
+    Random sampling makes small bodies structurally unstable (a body
+    can draw zero branches, changing the workload's character); quotas
+    keep every generated body faithful to its profile's mix.  The
+    caller shuffles the order.
+    """
+    weights = profile.weights()
+    names = [name for name in weights if weights[name] > 0.0]
+    if not names:
+        return ["ilp_alu"] * profile.body_templates
+    total = sum(weights[name] for name in names)
+    k = profile.body_templates
+    exact = {name: k * weights[name] / total for name in names}
+    counts = {name: int(exact[name]) for name in names}
+    remainder = k - sum(counts.values())
+    by_fraction = sorted(names, key=lambda n: exact[n] - counts[n], reverse=True)
+    for name in by_fraction[:remainder]:
+        counts[name] += 1
+    # Structural guarantees: at least one load and one branch whenever
+    # the profile asks for them at all.
+    loads = ("stream_load", "chase_load", "reload")
+    if all(counts.get(n, 0) == 0 for n in loads):
+        donor = max(counts, key=counts.get)
+        counts[donor] -= 1
+        best_load = max(loads, key=lambda n: weights.get(n, 0.0))
+        counts[best_load] = counts.get(best_load, 0) + 1
+    # Guarantee a branch only for meaningfully-branchy profiles; a
+    # streaming profile with a token branch weight should usually get
+    # its control flow from the loop branch alone.
+    if weights.get("branch", 0.0) >= 1.0 and counts.get("branch", 0) == 0:
+        donor = max(counts, key=counts.get)
+        counts[donor] -= 1
+        counts["branch"] = 1
+    templates = []
+    for name, count in counts.items():
+        templates.extend([name] * max(0, count))
+    return templates
+
+
+# -- template emitters -----------------------------------------------------
+#
+# Each emitter appends a handful of instructions and records produced
+# values in the dataflow context, so later templates consume *current-
+# iteration* results: loads root chains, chains feed branches and
+# stores.  That cascade is the traffic that distinguishes the schemes.
+
+
+def _emit_stream_load(profile, builder, rng, flow):
+    dest = flow.next_load_reg()
+    mask = profile.working_set_words - 1
+    index_src = rng.choice(_POOL_REGS)
+    stride_hop = profile.stream_stride * rng.randrange(1, 4)
+    builder.emit(Opcode.ADDI, rd=index_src, rs1=index_src, imm=stride_hop)
+    builder.emit(Opcode.ANDI, rd=_R_ADDR, rs1=index_src, imm=mask)
+    builder.emit(Opcode.ADD, rd=_R_ADDR, rs1=_R_ADDR, rs2=_R_BASE)
+    builder.emit(Opcode.LW, rd=dest, rs1=_R_ADDR, imm=0)
+    flow.produced(dest, is_load=True)
+
+
+def _emit_chase_load(profile, builder, rng, flow):
+    builder.emit(Opcode.LW, rd=_R_CURSOR, rs1=_R_CURSOR, imm=0)
+    flow.produced(_R_CURSOR, is_load=True)
+
+
+def _emit_alu_chain(profile, builder, rng, flow):
+    """Elementwise computation: a chain *restarted* at the newest value.
+
+    Restarting (rather than accumulating into a persistent register)
+    puts the load on the chain's critical path, so a deferred load
+    broadcast (NDA) delays the whole chain — the paper's "no dependent
+    computations can be completed" effect.  One merge op into a
+    reduction register keeps the result architecturally live without
+    serialising iterations.
+    """
+    source = flow.newest_load(rng)
+    acc = flow.next_acc_reg()
+    ops = (Opcode.ADD, Opcode.XOR, Opcode.AND, Opcode.OR, Opcode.SUB)
+    builder.emit(Opcode.ADD, rd=acc, rs1=source, rs2=source)
+    for _ in range(max(0, profile.chain_length - 1)):
+        builder.emit(rng.choice(ops), rd=acc, rs1=acc, rs2=rng.choice(_POOL_REGS))
+    reduction = rng.choice(_POOL_REGS)
+    builder.emit(Opcode.ADD, rd=reduction, rs1=reduction, rs2=acc)
+    flow.produced(acc)
+
+
+def _emit_ilp_alu(profile, builder, rng, flow):
+    for _ in range(2):
+        dest = rng.choice(_POOL_REGS)
+        builder.emit(
+            rng.choice((Opcode.ADDI, Opcode.XORI, Opcode.ORI)),
+            rd=dest,
+            rs1=dest,
+            imm=rng.randrange(1, 64),
+        )
+
+
+def _emit_store(profile, builder, rng, flow):
+    value = flow.any_recent(rng)
+    slot = rng.randrange(profile.scratch_words)
+    builder.emit(Opcode.SW, rs1=_R_SCRATCH_BASE, rs2=value, imm=slot)
+    flow.last_store_slot = slot
+
+
+def _emit_reload(profile, builder, rng, flow):
+    if flow.last_store_slot is not None and rng.random() < profile.reload_match:
+        slot = flow.last_store_slot
+    else:
+        slot = rng.randrange(profile.scratch_words)
+    dest = flow.next_load_reg()
+    builder.emit(Opcode.LW, rd=dest, rs1=_R_SCRATCH_BASE, imm=slot)
+    flow.produced(dest, is_load=True)
+
+
+def _emit_branch(profile, builder, rng, flow):
+    """Branch on recent data.
+
+    Direction predictability and *resolution latency* are independent:
+    both data variants read the newest produced value (the branch
+    cannot resolve — and its C-shadow cannot lift — before that value
+    exists), but only the high-entropy variant has a data-random
+    direction.  Perfectly-predicted branches on slow data are free on
+    the unsafe baseline yet keep speculation shadows open, which is
+    precisely what the secure schemes pay for.
+    """
+    if rng.random() < profile.branch_entropy:
+        # Random direction: parity of a random memory value.
+        builder.emit(Opcode.ANDI, rd=_R_BR, rs1=flow.newest(rng), imm=1)
+    elif rng.random() < profile.branch_on_load:
+        # Predictable direction (values are < 2^32), still data-late.
+        builder.emit(Opcode.SLTI, rd=_R_BR, rs1=flow.newest(rng), imm=1 << 40)
+    else:
+        # Loop-bound style: predictable and resolves from fast state.
+        index = rng.choice(_POOL_REGS)
+        builder.emit(Opcode.SLTI, rd=_R_BR, rs1=index, imm=1 << 40)
+    branch_index = builder.emit(Opcode.BEQ, rs1=_R_BR, rs2=0, imm=0)
+    skipped = rng.randrange(1, 3)
+    for _ in range(skipped):
+        dest = rng.choice(_POOL_REGS)
+        builder.emit(Opcode.ADDI, rd=dest, rs1=dest, imm=3)
+    builder.patch_target(branch_index, builder.here())
+
+
+def _emit_mul(profile, builder, rng, flow):
+    source = flow.newest(rng)
+    acc = flow.next_acc_reg()
+    builder.emit(Opcode.MUL, rd=acc, rs1=source, rs2=rng.choice(_POOL_REGS))
+    flow.produced(acc)
+
+
+def _emit_div(profile, builder, rng, flow):
+    dest = rng.choice(_POOL_REGS)
+    src = flow.any_recent(rng)
+    builder.emit(Opcode.ORI, rd=_R_BR, rs1=src, imm=1)  # never divide by zero
+    builder.emit(Opcode.DIV, rd=dest, rs1=dest, rs2=_R_BR)
+
+
+_EMITTERS = {
+    "stream_load": _emit_stream_load,
+    "chase_load": _emit_chase_load,
+    "alu_chain": _emit_alu_chain,
+    "ilp_alu": _emit_ilp_alu,
+    "store": _emit_store,
+    "reload": _emit_reload,
+    "branch": _emit_branch,
+    "mul": _emit_mul,
+    "div": _emit_div,
+}

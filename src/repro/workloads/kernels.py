@@ -1,0 +1,132 @@
+"""Hand-written micro-kernels for examples, tests, and ablations.
+
+Unlike the generated SPEC proxies, these are small, readable programs
+with one dominant behaviour each, so their interaction with the
+schemes is easy to reason about (and assert on in tests).
+"""
+
+from repro.isa.assembler import assemble
+
+from repro.workloads.generator import ARRAY_BASE, RING_BASE, SCRATCH_BASE
+
+
+def streaming_kernel(iterations=64, stride=1, array_words=4096):
+    """Sequential sweep over an array, summing into a register.
+
+    Independent loads with a predictable loop branch: the pattern every
+    scheme handles well (bwaves-like).
+    """
+    source = """
+        li   ra, {iterations}
+        li   sp, {base}
+        li   t0, 0          # index
+        li   a0, 0          # accumulator
+    loop:
+        andi t1, t0, {mask}
+        add  t1, t1, sp
+        lw   a1, 0(t1)
+        add  a0, a0, a1
+        addi t0, t0, {stride}
+        addi ra, ra, -1
+        bne  ra, zero, loop
+        sw   a0, 0(zero)
+        halt
+    """.format(
+        iterations=iterations, base=ARRAY_BASE, mask=array_words - 1, stride=stride
+    )
+    program = assemble(source, name="streaming")
+    for i in range(array_words):
+        program.initial_memory[ARRAY_BASE + i] = (i * 7 + 3) & 0xFFFF
+    return program
+
+
+def chase_kernel(iterations=64, ring_words=1024, seed=1):
+    """Pointer chase around a shuffled ring: serial dependent loads.
+
+    Every load's address depends on the previous load's data — the
+    worst case for NDA (each hop waits for the previous broadcast) and
+    for STT when the hop feeds a transmitter.
+    """
+    import random
+
+    rng = random.Random(seed)
+    source = """
+        li   ra, {iterations}
+        li   gp, {base}
+    loop:
+        lw   gp, 0(gp)
+        addi ra, ra, -1
+        bne  ra, zero, loop
+        sw   gp, 0(zero)
+        halt
+    """.format(iterations=iterations, base=RING_BASE)
+    program = assemble(source, name="pointer-chase")
+    indices = list(range(ring_words))
+    rng.shuffle(indices)
+    for position in range(ring_words):
+        current = indices[position]
+        nxt = indices[(position + 1) % ring_words]
+        program.initial_memory[RING_BASE + current] = RING_BASE + nxt
+    return program
+
+
+def forwarding_kernel(iterations=64, slots=8, array_words=4096):
+    """Tight store-then-load traffic over a tiny region (exchange2-like).
+
+    The recipe for the Section 9.2 anomaly:
+
+    * a data-dependent branch on a loaded value keeps a speculation
+      shadow open for a long time (the value sometimes misses), so
+      loads under it stay tainted;
+    * a store whose *data* is the tainted value but whose *address* is
+      an untainted index — under STT-Rename's unified store micro-op,
+      the tainted data blocks even the address generation;
+    * an immediate reload of the same slot through the untainted index
+      — it issues past the address-less store, reads stale memory, and
+      flushes when the store's address finally resolves.
+
+    STT-Issue taints the store's operands separately, so address
+    generation proceeds and the reload forwards cleanly; NDA never
+    blocks the store at all.
+    """
+    source = """
+        li   ra, {iterations}
+        li   tp, {scratch}
+        li   sp, {array}
+        li   t0, 0
+        li   a0, 1
+        li   s2, 0
+    loop:
+        andi t1, t0, {array_mask}
+        add  t1, t1, sp
+        lw   a1, 0(t1)          # speculative value (sometimes a miss)
+        andi t2, a1, 1
+        beq  t2, zero, even     # data-dependent: slow-resolving C-shadow
+        addi s2, s2, 1
+    even:
+        andi t3, t0, {slot_mask}
+        add  t3, t3, tp         # untainted slot address
+        lw   a4, 0(t3)          # value to recycle (tainted under shadow)
+        add  a4, a4, a1
+        sw   a4, 0(t3)          # data tainted; unified taint blocks agen
+        lw   a2, 0(t3)          # untainted reload of the same slot
+        add  a0, a0, a2
+        addi t0, t0, 1
+        addi ra, ra, -1
+        bne  ra, zero, loop
+        sw   a0, 0(zero)
+        sw   s2, 1(zero)
+        halt
+    """.format(
+        iterations=iterations,
+        scratch=SCRATCH_BASE,
+        array=ARRAY_BASE,
+        slot_mask=slots - 1,
+        array_mask=array_words - 1,
+    )
+    program = assemble(source, name="forwarding")
+    for i in range(array_words):
+        program.initial_memory[ARRAY_BASE + i] = (i * 2654435761) & 0xFFFF
+    for i in range(slots):
+        program.initial_memory[SCRATCH_BASE + i] = i
+    return program

@@ -1,0 +1,31 @@
+"""Assembly of the full SPEC CPU2017 proxy suite."""
+
+from repro.workloads.characteristics import SPEC_BENCHMARKS, SPEC_PROFILES
+from repro.workloads.generator import generate_program
+
+
+def spec_suite(scale=1.0, seed=2017, benchmarks=None):
+    """Generate the proxy suite; returns ``[(name, Program), ...]``.
+
+    ``scale`` multiplies every profile's iteration count, trading run
+    time for measurement stability (benches use small scales; the
+    harness's defaults aim for a few thousand dynamic instructions per
+    benchmark).  ``benchmarks`` optionally restricts to a subset by
+    name.
+    """
+    selected = benchmarks or SPEC_BENCHMARKS
+    suite = []
+    for name in selected:
+        profile = SPEC_PROFILES[name]
+        iterations = max(2, int(round(profile.iterations * scale)))
+        scaled = profile if iterations == profile.iterations else _rescale(
+            profile, iterations
+        )
+        suite.append((name, generate_program(scaled, seed=seed)))
+    return suite
+
+
+def _rescale(profile, iterations):
+    from dataclasses import replace
+
+    return replace(profile, iterations=iterations)

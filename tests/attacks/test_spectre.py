@@ -1,0 +1,80 @@
+"""Security verification (Section 7): Spectre v1 across the schemes.
+
+These are the repository's most important tests: the unsafe baseline
+MUST leak (otherwise the attack harness is broken and the scheme tests
+prove nothing), and every secure scheme MUST block the leak.
+"""
+
+import pytest
+
+from repro import MEGA, LARGE
+from repro.attacks import build_spectre_program, run_spectre_v1
+from repro.attacks.covert_channel import CacheProbe
+from repro.attacks.spectre_v1 import DUMMY_VALUE
+
+
+def test_baseline_leaks_the_secret():
+    outcome = run_spectre_v1("baseline", secret=42)
+    assert outcome.leaked
+    assert outcome.observed == (42,)
+
+
+@pytest.mark.parametrize("scheme", ["stt-rename", "stt-issue", "nda"])
+def test_schemes_block_the_leak(scheme):
+    outcome = run_spectre_v1(scheme, secret=42)
+    assert not outcome.leaked, "%s leaked %s" % (scheme, outcome.observed)
+    assert outcome.observed == ()
+
+
+@pytest.mark.parametrize("secret", [7, 23, 55])
+def test_leak_tracks_the_secret_value(secret):
+    outcome = run_spectre_v1("baseline", secret=secret)
+    assert outcome.leaked
+    assert outcome.observed == (secret,)
+
+
+def test_attack_works_on_other_configs():
+    outcome = run_spectre_v1("baseline", config=LARGE, secret=33)
+    assert outcome.leaked
+    blocked = run_spectre_v1("stt-issue", config=LARGE, secret=33)
+    assert not blocked.leaked
+
+
+def test_split_store_taints_still_secure():
+    """The Section 9.2 optimisation must not weaken STT-Rename."""
+    from repro.core.stt_rename import STTRenameScheme
+    from repro.pipeline.core import OoOCore
+    from repro.attacks.spectre_v1 import build_spectre_program
+
+    program, probe = build_spectre_program(secret=42)
+    core = OoOCore(program, config=MEGA,
+                   scheme=STTRenameScheme(split_store_taints=True))
+    core.run()
+    measurement = probe.measure(core.hierarchy, level="any")
+    assert 42 not in measurement.hot_values
+
+
+def test_program_rejects_masked_secret():
+    with pytest.raises(ValueError):
+        build_spectre_program(secret=DUMMY_VALUE)
+    with pytest.raises(ValueError):
+        build_spectre_program(secret=64)
+
+
+def test_probe_addressing():
+    probe = CacheProbe(0x1000, stride=8, candidates=range(4))
+    assert probe.address_for(0) == 0x1000
+    assert probe.address_for(3) == 0x1000 + 24
+
+
+def test_probe_levels():
+    from repro.memsys.hierarchy import MemoryHierarchy
+
+    hierarchy = MemoryHierarchy()
+    probe = CacheProbe(0x1000, candidates=range(4))
+    hierarchy.l2.insert(probe.address_for(2))
+    assert probe.measure(hierarchy, level="l1").hot_values == ()
+    assert probe.measure(hierarchy, level="l2").hot_values == (2,)
+    assert probe.measure(hierarchy, level="any").hot_values == (2,)
+    with pytest.raises(ValueError):
+        probe.measure(hierarchy, level="l3")

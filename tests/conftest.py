@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro import MEGA, SMALL, OoOCore, make_scheme, run_reference
+from repro.workloads.generator import WorkloadProfile, generate_program
+
+ALL_SCHEMES = ("baseline", "stt-rename", "stt-issue", "nda")
+
+
+@pytest.fixture(params=ALL_SCHEMES)
+def scheme_name(request):
+    """Parametrise a test over every scheme."""
+    return request.param
+
+
+def run_all_schemes(program, config=MEGA, **core_kwargs):
+    """Run a program under all four schemes; returns {name: result}."""
+    results = {}
+    for name in ALL_SCHEMES:
+        core = OoOCore(program, config=config, scheme=make_scheme(name),
+                       **core_kwargs)
+        results[name] = core.run()
+    return results
+
+
+def assert_matches_reference(program, result, context=""):
+    """Assert a pipeline result's architectural state equals the oracle."""
+    ref = run_reference(program, max_steps=5_000_000)
+    for reg in range(32):
+        assert result.regs[reg] == ref.state.read_reg(reg), (
+            "%s: register x%d mismatch: pipeline %d vs reference %d"
+            % (context, reg, result.regs[reg], ref.state.read_reg(reg))
+        )
+    ref_memory = {a: v for a, v in ref.state.memory.items() if v != 0}
+    got_memory = {a: v for a, v in result.memory.items() if v != 0}
+    assert got_memory == ref_memory, "%s: memory mismatch" % context
+
+
+def small_profile(name="test", **overrides):
+    """A fast-to-simulate workload profile for integration tests."""
+    params = dict(
+        name=name,
+        iterations=8,
+        body_templates=6,
+        body_blocks=2,
+        working_set_words=256,
+        ring_words=32,
+        scratch_words=16,
+    )
+    params.update(overrides)
+    return WorkloadProfile(**params)
+
+
+def small_program(name="test", seed=1, **overrides):
+    return generate_program(small_profile(name, **overrides), seed=seed)

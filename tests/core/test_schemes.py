@@ -1,0 +1,144 @@
+"""Behavioural tests of the secure-speculation schemes.
+
+These assert the *mechanisms* (tainting, blocking, deferral) rather
+than aggregate IPC: each test constructs a situation where the paper
+says a specific scheme must act, and checks the corresponding counter
+or ordering property.
+"""
+
+import pytest
+
+from repro import MEGA, OoOCore, assemble, make_scheme
+from repro.core import (
+    BaselineScheme,
+    NDAScheme,
+    STTIssueScheme,
+    STTRenameScheme,
+    SCHEME_NAMES,
+)
+from repro.core.factory import make_scheme as factory
+
+from tests.conftest import assert_matches_reference
+
+
+def _spectre_like_program():
+    """A load under a slow branch feeding a dependent (transmitter) load."""
+    source = """
+        li   ra, 40
+        li   sp, 0x1000
+        li   t0, 0
+    loop:
+        andi t1, t0, 1023
+        add  t1, t1, sp
+        lw   a1, 0(t1)          # speculative producer
+        slti t2, a1, 1000000
+        beq  t2, zero, skip
+        addi s2, s2, 1
+    skip:
+        andi a2, a1, 255
+        add  a2, a2, sp
+        lw   a3, 0(a2)          # dependent load: tainted transmitter
+        add  s3, s3, a3
+        addi t0, t0, 7
+        addi ra, ra, -1
+        bne  ra, zero, loop
+        halt
+    """
+    program = assemble(source, name="taint-chain")
+    for i in range(1024):
+        program.initial_memory[0x1000 + i] = (i * 37) & 1023
+    return program
+
+
+def test_factory_names():
+    for name in SCHEME_NAMES:
+        scheme = factory(name)
+        assert scheme.name == name
+
+
+def test_factory_rejects_unknown():
+    with pytest.raises(ValueError):
+        factory("ghost-loads")
+
+
+def test_factory_accepts_underscores():
+    assert factory("stt_rename").name == "stt-rename"
+    assert factory("stt_issue").name == "stt-issue"
+
+
+def test_stt_blocks_tainted_transmitters():
+    program = _spectre_like_program()
+    for name in ("stt-rename", "stt-issue"):
+        result = OoOCore(program, config=MEGA, scheme=factory(name),
+                         warm_caches=True).run()
+        assert result.stats.taint_blocked_issues > 0, name
+        assert result.stats.extra["loads_tainted"] > 0, name
+        assert_matches_reference(program, result, name)
+
+
+def test_baseline_never_blocks():
+    program = _spectre_like_program()
+    result = OoOCore(program, config=MEGA, warm_caches=True).run()
+    assert result.stats.taint_blocked_issues == 0
+    assert result.stats.deferred_broadcasts == 0
+
+
+def test_stt_issue_wastes_slots_on_tainted_selects():
+    program = _spectre_like_program()
+    result = OoOCore(program, config=MEGA, scheme=STTIssueScheme(),
+                     warm_caches=True).run()
+    assert result.stats.extra["stt_issue_nops"] > 0
+    assert result.stats.wasted_issue_slots >= result.stats.extra["stt_issue_nops"]
+
+
+def test_nda_defers_speculative_broadcasts():
+    program = _spectre_like_program()
+    result = OoOCore(program, config=MEGA, scheme=NDAScheme(),
+                     warm_caches=True).run()
+    assert result.stats.deferred_broadcasts > 0
+    assert result.stats.deferred_broadcast_cycles > 0
+    assert_matches_reference(program, result, "nda")
+
+
+def test_nda_disables_spec_hit_wakeup():
+    assert NDAScheme().allows_spec_hit_wakeup is False
+    assert STTRenameScheme().allows_spec_hit_wakeup is True
+    assert BaselineScheme().allows_spec_hit_wakeup is True
+
+
+def test_taint_checkpoint_flags():
+    assert STTRenameScheme().uses_taint_checkpoints is True
+    assert STTIssueScheme().uses_taint_checkpoints is False
+    assert NDAScheme().uses_taint_checkpoints is False
+
+
+def test_stt_issue_taints_fewer_loads_than_rename():
+    """Section 4.3 advantage (1): issue-time taint checks are more
+    precise than rename-time, so fewer destinations get tainted."""
+    program = _spectre_like_program()
+    rename = OoOCore(program, config=MEGA, scheme=STTRenameScheme(),
+                     warm_caches=True).run()
+    issue = OoOCore(program, config=MEGA, scheme=STTIssueScheme(),
+                    warm_caches=True).run()
+    assert issue.stats.extra["loads_tainted"] <= rename.stats.extra["loads_tainted"]
+
+
+def test_schemes_never_change_architectural_results(scheme_name):
+    program = _spectre_like_program()
+    result = OoOCore(program, config=MEGA, scheme=factory(scheme_name),
+                     warm_caches=True).run()
+    assert_matches_reference(program, result, scheme_name)
+
+
+def test_split_store_taints_reduce_violations():
+    """Section 9.2's proposed STT-Rename fix."""
+    from repro.workloads.kernels import forwarding_kernel
+
+    program = forwarding_kernel(iterations=120)
+    unified = OoOCore(program, config=MEGA,
+                      scheme=STTRenameScheme(split_store_taints=False)).run()
+    split = OoOCore(program, config=MEGA,
+                    scheme=STTRenameScheme(split_store_taints=True)).run()
+    assert split.stats.stl_forward_errors < unified.stats.stl_forward_errors
+    assert split.stats.ipc > unified.stats.ipc
+    assert_matches_reference(program, split, "split-taints")

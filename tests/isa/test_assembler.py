@@ -1,0 +1,107 @@
+"""Unit tests for the assembler."""
+
+import pytest
+
+from repro.isa import AssemblerError, Opcode, assemble
+
+
+def test_basic_program():
+    program = assemble("""
+        li   t0, 3
+        addi t0, t0, -1
+        halt
+    """)
+    assert len(program) == 3
+    assert program[0].op == Opcode.LI
+    assert program[0].imm == 3
+
+
+def test_labels_forward_and_backward():
+    program = assemble("""
+    top:
+        addi t0, t0, 1
+        beq  t0, zero, done
+        jal  zero, top
+    done:
+        halt
+    """)
+    assert program[1].imm == 3  # forward label
+    assert program[2].imm == 0  # backward label
+
+
+def test_memory_operands():
+    program = assemble("""
+        lw a0, 8(sp)
+        sw a0, -4(t1)
+        halt
+    """)
+    load, store = program[0], program[1]
+    assert load.rs1 == 2 and load.imm == 8
+    assert store.rs2 == 10 and store.rs1 == 6 and store.imm == -4
+
+
+def test_abi_and_numeric_register_names():
+    program = assemble("""
+        add x5, a0, t3
+        halt
+    """)
+    assert program[0].rd == 5
+    assert program[0].rs1 == 10
+    assert program[0].rs2 == 28
+
+
+def test_directives_seed_state():
+    program = assemble("""
+        .word 100 42
+        .reg  t0  7
+        halt
+    """)
+    assert program.initial_memory[100] == 42
+    assert program.initial_regs[5] == 7
+
+
+def test_comments_ignored():
+    program = assemble("""
+        # a comment
+        li t0, 1   ; trailing comment
+        halt
+    """)
+    assert len(program) == 2
+
+
+def test_hex_immediates():
+    program = assemble("""
+        li t0, 0x10
+        halt
+    """)
+    assert program[0].imm == 16
+
+
+def test_unknown_mnemonic_raises():
+    with pytest.raises(AssemblerError):
+        assemble("bogus t0, t1\nhalt")
+
+
+def test_undefined_label_raises():
+    with pytest.raises(AssemblerError):
+        assemble("beq t0, t1, nowhere\nhalt")
+
+
+def test_duplicate_label_raises():
+    with pytest.raises(AssemblerError):
+        assemble("a:\nnop\na:\nhalt")
+
+
+def test_bad_operand_count_raises():
+    with pytest.raises(AssemblerError):
+        assemble("add t0, t1\nhalt")
+
+
+def test_bad_memory_operand_raises():
+    with pytest.raises(AssemblerError):
+        assemble("lw t0, t1\nhalt")
+
+
+def test_program_without_halt_rejected():
+    with pytest.raises(ValueError):
+        assemble("nop")

@@ -1,0 +1,92 @@
+"""Unit tests for the static instruction layer."""
+
+import pytest
+
+from repro.isa.instructions import Instruction, OPCODE_INFO, Opcode
+
+
+def test_every_opcode_has_info():
+    for op in Opcode:
+        assert op in OPCODE_INFO, op
+
+
+def test_transmitter_classification():
+    assert Instruction(op=Opcode.LW, rd=1, rs1=2).is_transmitter
+    assert Instruction(op=Opcode.SW, rs1=1, rs2=2).is_transmitter
+    assert Instruction(op=Opcode.BEQ, rs1=1, rs2=2, imm=0).is_transmitter
+    assert Instruction(op=Opcode.JALR, rd=1, rs1=2).is_transmitter
+    assert not Instruction(op=Opcode.ADD, rd=1, rs1=2, rs2=3).is_transmitter
+    assert not Instruction(op=Opcode.MUL, rd=1, rs1=2, rs2=3).is_transmitter
+    assert not Instruction(op=Opcode.JAL, rd=1, imm=0).is_transmitter
+
+
+def test_memory_classification():
+    load = Instruction(op=Opcode.LW, rd=1, rs1=2)
+    store = Instruction(op=Opcode.SW, rs1=1, rs2=2)
+    assert load.is_load and not load.is_store
+    assert store.is_store and not store.is_load
+    assert load.writes_rd
+    assert not store.writes_rd
+
+
+def test_x0_sources_are_omitted():
+    instr = Instruction(op=Opcode.ADD, rd=5, rs1=0, rs2=7)
+    assert instr.source_regs() == [7]
+    instr = Instruction(op=Opcode.ADD, rd=5, rs1=0, rs2=0)
+    assert instr.source_regs() == []
+
+
+def test_x0_destination_never_written():
+    assert not Instruction(op=Opcode.ADD, rd=0, rs1=1, rs2=2).writes_rd
+
+
+def test_store_operand_split():
+    store = Instruction(op=Opcode.SW, rs1=3, rs2=4, imm=8)
+    assert store.address_source_regs() == [3]
+    assert store.data_source_regs() == [4]
+
+
+def test_load_address_sources():
+    load = Instruction(op=Opcode.LW, rd=1, rs1=6, imm=8)
+    assert load.address_source_regs() == [6]
+    assert load.data_source_regs() == []
+
+
+def test_immediate_alu_reads_only_rs1():
+    instr = Instruction(op=Opcode.ADDI, rd=5, rs1=6, imm=1)
+    assert instr.source_regs() == [6]
+
+
+def test_branch_latencies_positive():
+    for op, info in OPCODE_INFO.items():
+        assert info.latency >= 1, op
+
+
+def test_div_classified_unpipelined():
+    assert OPCODE_INFO[Opcode.DIV].is_div
+    assert OPCODE_INFO[Opcode.REM].is_div
+    assert OPCODE_INFO[Opcode.DIV].latency > OPCODE_INFO[Opcode.MUL].latency
+
+
+def test_control_classification():
+    assert Instruction(op=Opcode.JAL, rd=1, imm=0).is_control
+    assert Instruction(op=Opcode.BNE, rs1=1, rs2=2, imm=0).is_control
+    assert not Instruction(op=Opcode.LW, rd=1, rs1=1).is_control
+
+
+def test_str_renders_each_shape():
+    samples = [
+        Instruction(op=Opcode.NOP),
+        Instruction(op=Opcode.HALT),
+        Instruction(op=Opcode.LI, rd=1, imm=5),
+        Instruction(op=Opcode.LW, rd=1, rs1=2, imm=4),
+        Instruction(op=Opcode.SW, rs1=2, rs2=3, imm=4),
+        Instruction(op=Opcode.BEQ, rs1=1, rs2=2, imm=7),
+        Instruction(op=Opcode.JAL, rd=1, imm=3),
+        Instruction(op=Opcode.JALR, rd=1, rs1=2, imm=0),
+        Instruction(op=Opcode.ADD, rd=1, rs1=2, rs2=3),
+        Instruction(op=Opcode.ADDI, rd=1, rs1=2, imm=9),
+    ]
+    for instr in samples:
+        text = str(instr)
+        assert instr.op.value in text

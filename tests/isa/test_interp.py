@@ -1,0 +1,116 @@
+"""Unit tests for the reference interpreter and ALU semantics."""
+
+import pytest
+
+from repro.isa import assemble, run_reference
+from repro.isa.instructions import Opcode
+from repro.isa.interp import branch_taken, evaluate_alu, to_signed64, to_unsigned64
+
+
+def test_signed_wrapping():
+    assert to_signed64((1 << 63)) == -(1 << 63)
+    assert to_signed64(-1) == -1
+    assert to_unsigned64(-1) == (1 << 64) - 1
+
+
+def test_alu_basics():
+    assert evaluate_alu(Opcode.ADD, 2, 3, 0) == 5
+    assert evaluate_alu(Opcode.SUB, 2, 3, 0) == -1
+    assert evaluate_alu(Opcode.XOR, 0b101, 0b011, 0) == 0b110
+    assert evaluate_alu(Opcode.SLT, -1, 1, 0) == 1
+    assert evaluate_alu(Opcode.SLTU, -1, 1, 0) == 0  # unsigned compare
+    assert evaluate_alu(Opcode.SLLI, 1, 0, 4) == 16
+    assert evaluate_alu(Opcode.SRAI, -16, 0, 2) == -4
+    assert evaluate_alu(Opcode.SRLI, -1, 0, 60) == 15
+
+
+def test_division_by_zero_riscv_semantics():
+    assert evaluate_alu(Opcode.DIV, 7, 0, 0) == -1
+    assert evaluate_alu(Opcode.REM, 7, 0, 0) == 7
+    assert evaluate_alu(Opcode.DIV, -7, 2, 0) == -3  # truncating
+    assert evaluate_alu(Opcode.REM, -7, 2, 0) == -1
+
+
+def test_branch_taken_variants():
+    assert branch_taken(Opcode.BEQ, 1, 1)
+    assert branch_taken(Opcode.BNE, 1, 2)
+    assert branch_taken(Opcode.BLT, -2, 1)
+    assert not branch_taken(Opcode.BLTU, -2, 1)  # unsigned
+    assert branch_taken(Opcode.BGE, 5, 5)
+    assert branch_taken(Opcode.BGEU, -1, 1)
+
+
+def test_loop_execution():
+    interp = run_reference(assemble("""
+        li   t0, 10
+        li   t1, 0
+    loop:
+        addi t1, t1, 2
+        addi t0, t0, -1
+        bne  t0, zero, loop
+        halt
+    """))
+    assert interp.state.read_reg(6) == 20
+    assert interp.instructions_retired == 1 + 1 + 3 * 10 + 1
+
+
+def test_memory_round_trip():
+    interp = run_reference(assemble("""
+        li t0, 123
+        sw t0, 40(zero)
+        lw t1, 40(zero)
+        halt
+    """))
+    assert interp.state.read_reg(6) == 123
+    assert interp.state.read_mem(40) == 123
+
+
+def test_jal_and_jalr():
+    interp = run_reference(assemble("""
+        jal  ra, target
+        halt
+    target:
+        li   t0, 9
+        jalr t1, ra, 0
+    """))
+    # jal at pc 0 links pc+1 = 1 (the halt); jalr returns there.
+    assert interp.state.read_reg(1) == 1
+    assert interp.state.read_reg(5) == 9
+
+
+def test_x0_stays_zero():
+    interp = run_reference(assemble("""
+        li   x0, 55
+        addi x0, x0, 1
+        halt
+    """))
+    assert interp.state.read_reg(0) == 0
+
+
+def test_load_addresses_recorded():
+    interp = run_reference(assemble("""
+        .word 8 77
+        lw t0, 8(zero)
+        halt
+    """))
+    assert interp.load_addresses == [8]
+
+
+def test_runaway_program_raises():
+    program = assemble("""
+    loop:
+        jal zero, loop
+        halt
+    """)
+    with pytest.raises(RuntimeError):
+        run_reference(program, max_steps=100)
+
+
+def test_negative_address_wraps_unsigned():
+    interp = run_reference(assemble("""
+        li t0, -8
+        sw t0, 0(t0)
+        halt
+    """))
+    wrapped = (1 << 64) - 8
+    assert interp.state.read_mem(wrapped) == -8

@@ -1,0 +1,181 @@
+"""Integration tests: the out-of-order core vs the reference oracle."""
+
+import pytest
+
+from repro import LARGE, MEDIUM, MEGA, SMALL, OoOCore, assemble, make_scheme
+from repro.isa.interp import run_reference
+
+from tests.conftest import assert_matches_reference, run_all_schemes
+
+
+def test_straight_line_arithmetic(scheme_name):
+    program = assemble("""
+        li   t0, 6
+        li   t1, 7
+        mul  t2, t0, t1
+        div  t3, t2, t0
+        rem  t4, t2, t1
+        halt
+    """)
+    core = OoOCore(program, config=MEGA, scheme=make_scheme(scheme_name))
+    result = core.run()
+    assert result.regs[7] == 42
+    assert result.regs[28] == 7
+    assert result.regs[29] == 0
+    assert_matches_reference(program, result, scheme_name)
+
+
+def test_loop_with_memory(scheme_name):
+    program = assemble("""
+        li   t0, 20
+        li   t1, 0
+        li   t2, 0
+    loop:
+        sw   t1, 100(t2)
+        lw   a0, 100(t2)
+        add  t1, t1, a0
+        addi t1, t1, 1
+        addi t2, t2, 1
+        addi t0, t0, -1
+        bne  t0, zero, loop
+        halt
+    """)
+    core = OoOCore(program, config=MEGA, scheme=make_scheme(scheme_name))
+    result = core.run()
+    assert_matches_reference(program, result, scheme_name)
+    assert result.stats.committed_loads == 20
+    assert result.stats.committed_stores == 20
+
+
+def test_data_dependent_branches(scheme_name):
+    program = assemble("""
+        .word 50 1
+        .word 51 0
+        .word 52 1
+        .word 53 1
+        li   t0, 4
+        li   t1, 0
+        li   t2, 0
+    loop:
+        lw   a0, 50(t2)
+        beq  a0, zero, skip
+        addi t1, t1, 10
+    skip:
+        addi t2, t2, 1
+        addi t0, t0, -1
+        bne  t0, zero, loop
+        halt
+    """)
+    core = OoOCore(program, config=MEGA, scheme=make_scheme(scheme_name))
+    result = core.run()
+    assert result.regs[6] == 30
+    assert_matches_reference(program, result, scheme_name)
+
+
+@pytest.mark.parametrize("config", [SMALL, MEDIUM, LARGE, MEGA],
+                         ids=lambda c: c.name)
+def test_all_configs_execute_correctly(config):
+    program = assemble("""
+        li   t0, 12
+        li   t1, 1
+    loop:
+        slli t1, t1, 1
+        addi t1, t1, 1
+        addi t0, t0, -1
+        bne  t0, zero, loop
+        sw   t1, 0(zero)
+        halt
+    """)
+    for scheme, result in run_all_schemes(program, config=config).items():
+        assert_matches_reference(program, result, "%s/%s" % (config.name, scheme))
+
+
+def test_store_load_forwarding_same_address(scheme_name):
+    program = assemble("""
+        li t0, 11
+        sw t0, 8(zero)
+        lw t1, 8(zero)
+        addi t1, t1, 1
+        sw t1, 8(zero)
+        lw t2, 8(zero)
+        halt
+    """)
+    core = OoOCore(program, config=MEGA, scheme=make_scheme(scheme_name))
+    result = core.run()
+    assert result.regs[7] == 12
+    assert_matches_reference(program, result, scheme_name)
+
+
+def test_ipc_not_degenerate(scheme_name):
+    program = assemble("""
+        li   t0, 64
+    loop:
+        addi t1, t1, 1
+        addi t2, t2, 2
+        addi t3, t3, 3
+        addi t0, t0, -1
+        bne  t0, zero, loop
+        halt
+    """)
+    core = OoOCore(program, config=MEGA, scheme=make_scheme(scheme_name))
+    result = core.run()
+    assert result.stats.ipc > 1.0  # independent ALU work must overlap
+
+
+def test_wider_core_is_faster():
+    program = assemble("""
+        li   t0, 64
+    loop:
+        addi t1, t1, 1
+        addi t2, t2, 2
+        addi t3, t3, 3
+        addi t4, t4, 4
+        addi t0, t0, -1
+        bne  t0, zero, loop
+        halt
+    """)
+    small = OoOCore(program, config=SMALL).run()
+    mega = OoOCore(program, config=MEGA).run()
+    assert mega.stats.cycles < small.stats.cycles
+
+
+def test_jalr_indirect_jump(scheme_name):
+    program = assemble("""
+        li   t0, 5
+        jalr ra, t0, 0
+        halt
+        nop
+        nop
+        li   t1, 99
+        halt
+    """)
+    core = OoOCore(program, config=MEGA, scheme=make_scheme(scheme_name))
+    result = core.run()
+    assert result.regs[6] == 99
+
+
+def test_max_instructions_cap():
+    program = assemble("""
+        li   t0, 1000
+    loop:
+        addi t0, t0, -1
+        bne  t0, zero, loop
+        halt
+    """)
+    core = OoOCore(program, config=MEGA)
+    result = core.run(max_instructions=50)
+    assert 50 <= result.stats.committed_instructions <= 54
+
+
+def test_watchdog_reports_deadlock():
+    program = assemble("""
+        li t0, 4
+    loop:
+        addi t0, t0, -1
+        bne t0, zero, loop
+        halt
+    """)
+    core = OoOCore(program, config=MEGA, watchdog_cycles=10)
+    core._last_commit_cycle = -100  # force the watchdog to fire
+    with pytest.raises(RuntimeError):
+        core.run()

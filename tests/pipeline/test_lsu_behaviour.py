@@ -1,0 +1,93 @@
+"""Behavioural tests for LSU forwarding, violations, and replay."""
+
+from repro import MEGA, OoOCore, assemble, make_scheme
+from repro.workloads.kernels import chase_kernel, forwarding_kernel, streaming_kernel
+
+from tests.conftest import assert_matches_reference
+
+
+def test_forwarding_counted_on_baseline():
+    program = forwarding_kernel(iterations=50)
+    result = OoOCore(program, config=MEGA).run()
+    assert result.stats.store_forwards > 0
+    assert result.stats.stl_forward_errors == 0
+    assert_matches_reference(program, result, "baseline")
+
+
+def test_stt_rename_causes_forwarding_errors():
+    """The Section 9.2 anomaly: blocked store address generation makes
+    untainted reloads read stale memory and flush."""
+    program = forwarding_kernel(iterations=120)
+    rename = OoOCore(program, config=MEGA, scheme=make_scheme("stt-rename")).run()
+    issue = OoOCore(program, config=MEGA, scheme=make_scheme("stt-issue")).run()
+    nda = OoOCore(program, config=MEGA, scheme=make_scheme("nda")).run()
+    assert rename.stats.stl_forward_errors > 10 * max(
+        1, nda.stats.stl_forward_errors
+    )
+    assert rename.stats.order_violation_flushes > 0
+    # STT-Issue's split operand taints keep address generation flowing.
+    assert issue.stats.stl_forward_errors <= rename.stats.stl_forward_errors / 5
+    # And every scheme still computes the right answer.
+    for result in (rename, issue, nda):
+        assert_matches_reference(program, result, result.scheme_name)
+
+
+def test_violation_flush_preserves_correctness(scheme_name):
+    program = forwarding_kernel(iterations=60)
+    result = OoOCore(program, config=MEGA, scheme=make_scheme(scheme_name)).run()
+    assert_matches_reference(program, result, scheme_name)
+
+
+def test_pointer_chase_is_serial():
+    program = chase_kernel(iterations=40, ring_words=64)
+    result = OoOCore(program, config=MEGA, warm_caches=True).run()
+    # A chase hop takes at least L1 latency; IPC must reflect serialization.
+    assert result.stats.ipc < 1.5
+    assert_matches_reference(program, result, "chase")
+
+
+def test_streaming_hits_after_warmup():
+    program = streaming_kernel(iterations=200, array_words=1024)
+    core = OoOCore(program, config=MEGA, warm_caches=True)
+    result = core.run()
+    stats = core.hierarchy.stats()
+    assert stats["l1_hits"] > stats["dram_accesses"]
+    assert_matches_reference(program, result, "stream")
+
+
+def test_spec_wakeup_kills_on_misses():
+    """Loads that miss L1 broadcast speculative wakeups that get killed,
+    wasting issue slots — unless the scheme (NDA) removes the logic."""
+    program = streaming_kernel(iterations=150, stride=64, array_words=65536)
+    baseline = OoOCore(program, config=MEGA).run()
+    nda = OoOCore(program, config=MEGA, scheme=make_scheme("nda")).run()
+    assert baseline.stats.spec_wakeup_kills > 0
+    assert nda.stats.spec_wakeup_kills == 0
+
+
+def test_nda_defers_broadcasts_under_shadows():
+    source = """
+        li   ra, 60
+        li   sp, 0x1000
+        li   t0, 0
+    loop:
+        andi t1, t0, 255
+        add  t1, t1, sp
+        lw   a1, 0(t1)
+        slti t2, a1, 100000
+        beq  t2, zero, skip
+        addi s2, s2, 1
+    skip:
+        add  a2, a1, a1
+        addi t0, t0, 1
+        addi ra, ra, -1
+        bne  ra, zero, loop
+        halt
+    """
+    program = assemble(source, name="nda-defer")
+    for i in range(256):
+        program.initial_memory[0x1000 + i] = i
+    nda = OoOCore(program, config=MEGA, scheme=make_scheme("nda"),
+                  warm_caches=True).run()
+    assert nda.stats.deferred_broadcasts > 0
+    assert_matches_reference(program, nda, "nda")

@@ -1,0 +1,108 @@
+"""Unit tests for the rename unit."""
+
+import pytest
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.pipeline.rename import RenameUnit
+from repro.pipeline.uop import MicroOp
+
+
+def make_uop(seq, op=Opcode.ADD, rd=5, rs1=6, rs2=7):
+    return MicroOp(seq, seq, Instruction(op=op, rd=rd, rs1=rs1, rs2=rs2))
+
+
+def test_initial_identity_mapping():
+    rename = RenameUnit(64, 4)
+    for arch in range(32):
+        assert rename.lookup(arch) == arch
+    assert rename.free_regs() == 32
+
+
+def test_rename_allocates_and_redirects():
+    rename = RenameUnit(64, 4)
+    uop = make_uop(0)
+    rename.rename_sources(uop)
+    assert uop.prs1 == 6 and uop.prs2 == 7
+    preg = rename.rename_dest(uop)
+    assert preg == 32
+    assert rename.lookup(5) == 32
+    assert uop.stale_prd == 5
+
+
+def test_same_cycle_dependency_chains_through_rat():
+    rename = RenameUnit(64, 4)
+    producer = make_uop(0, rd=5)
+    rename.rename_sources(producer)
+    rename.rename_dest(producer)
+    consumer = make_uop(1, rd=8, rs1=5, rs2=5)
+    rename.rename_sources(consumer)
+    assert consumer.prs1 == producer.prd
+    assert consumer.prs2 == producer.prd
+
+
+def test_checkpoint_restore_recovers_rat_and_free_list():
+    rename = RenameUnit(64, 4)
+    branch = make_uop(0, op=Opcode.BEQ, rd=0, rs1=1, rs2=2)
+    checkpoint = rename.create_checkpoint(branch, ghr=0)
+    wrong = [make_uop(i, rd=5) for i in range(1, 4)]
+    for uop in wrong:
+        rename.rename_sources(uop)
+        rename.rename_dest(uop)
+    free_before = rename.free_regs()
+    rename.restore_checkpoint(checkpoint.checkpoint_id, wrong)
+    assert rename.lookup(5) == 5
+    assert rename.free_regs() == free_before + 3
+    rename.check_invariants()
+
+
+def test_restore_discards_younger_checkpoints():
+    rename = RenameUnit(64, 8)
+    older = make_uop(0, op=Opcode.BEQ, rd=0)
+    younger = make_uop(5, op=Opcode.BEQ, rd=0)
+    cp_old = rename.create_checkpoint(older, ghr=0)
+    rename.create_checkpoint(younger, ghr=0)
+    assert rename.free_checkpoints() == 6
+    rename.restore_checkpoint(cp_old.checkpoint_id, [])
+    assert rename.free_checkpoints() == 8
+
+
+def test_commit_frees_stale_mapping():
+    rename = RenameUnit(64, 4)
+    first = make_uop(0, rd=5)
+    rename.rename_dest(first)
+    second = make_uop(1, rd=5)
+    rename.rename_dest(second)
+    free_before = rename.free_regs()
+    rename.commit(first)   # frees p5 (identity stale)
+    rename.commit(second)  # frees first.prd
+    assert rename.free_regs() == free_before + 2
+    assert rename.arch_rat[5] == second.prd
+
+
+def test_flush_all_rebuilds_from_arch_rat():
+    rename = RenameUnit(64, 4)
+    committed = make_uop(0, rd=5)
+    rename.rename_dest(committed)
+    rename.commit(committed)
+    wrong = make_uop(1, rd=6)
+    rename.rename_dest(wrong)
+    rename.flush_all()
+    assert rename.lookup(5) == committed.prd
+    assert rename.lookup(6) == 6
+    rename.check_invariants()
+    # Wrong-path preg is back in the free pool.
+    assert wrong.prd in rename.free_list
+
+
+def test_checkpoint_exhaustion_raises():
+    rename = RenameUnit(64, 1)
+    rename.create_checkpoint(make_uop(0, op=Opcode.BEQ, rd=0), ghr=0)
+    with pytest.raises(RuntimeError):
+        rename.create_checkpoint(make_uop(1, op=Opcode.BEQ, rd=0), ghr=0)
+
+
+def test_invariants_catch_duplicate_mapping():
+    rename = RenameUnit(64, 4)
+    rename.rat[5] = rename.rat[6]
+    with pytest.raises(AssertionError):
+        rename.check_invariants()

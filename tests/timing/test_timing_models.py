@@ -1,0 +1,125 @@
+"""Tests for the synthesis-substitute timing, area, and power models."""
+
+import pytest
+
+from repro.pipeline.config import LARGE, MEDIUM, MEGA, SMALL, named_configs
+from repro.pipeline.stats import SimStats
+from repro.timing import (
+    CriticalPathModel,
+    achieved_frequency_mhz,
+    estimate_area,
+    estimate_power,
+    relative_timing,
+    scheme_stage_delays,
+    synthesize,
+)
+
+SCHEMES = ("baseline", "stt-rename", "stt-issue", "nda")
+
+
+def test_baseline_frequency_decreases_with_width():
+    freqs = [achieved_frequency_mhz(c, "baseline") for c in named_configs()]
+    assert freqs == sorted(freqs, reverse=True)
+    # BOOM-on-U250 range, per Figure 9.
+    assert 140 < freqs[0] < 175
+    assert 60 < freqs[-1] < 95
+
+
+def test_stt_rename_timing_collapses_with_width():
+    """Figure 9/10: the serial YRoT chain bites wide cores."""
+    rel = [relative_timing(c, "stt-rename") for c in named_configs()]
+    assert rel[0] > 0.98                    # Small: negligible
+    assert rel[-1] < 0.85                   # Mega: ~0.80x
+    assert rel == sorted(rel, reverse=True)  # monotone degradation
+
+
+def test_stt_issue_timing_flat_after_medium():
+    rel = [relative_timing(c, "stt-issue") for c in named_configs()]
+    assert rel[0] > 0.93
+    assert rel[1] < 0.93                    # the Medium drop
+    assert abs(rel[2] - rel[3]) < 0.05      # then roughly flat
+
+
+def test_nda_timing_at_or_above_baseline():
+    for config in named_configs():
+        assert relative_timing(config, "nda") >= 0.999
+
+
+def test_critical_stage_attribution():
+    assert synthesize(MEGA, "baseline").critical_stage == "regread_bypass"
+    assert synthesize(MEGA, "stt-rename").critical_stage == "rename"
+    assert synthesize(MEGA, "stt-issue").critical_stage == "issue"
+
+
+def test_stt_rename_beats_stt_issue_on_small():
+    """Section 4.4: STT-Issue pays a higher flat cost on small designs."""
+    assert relative_timing(SMALL, "stt-rename") > relative_timing(SMALL, "stt-issue")
+    assert relative_timing(MEGA, "stt-rename") < relative_timing(MEGA, "stt-issue")
+
+
+def test_meets_timing_api():
+    result = synthesize(SMALL, "baseline")
+    assert result.meets_timing(result.frequency_mhz - 1)
+    assert not result.meets_timing(result.frequency_mhz + 10)
+
+
+def test_unknown_scheme_rejected():
+    with pytest.raises(ValueError):
+        scheme_stage_delays(MEGA, "dolma")
+    with pytest.raises(ValueError):
+        estimate_area(MEGA, "dolma")
+
+
+def test_area_table4_structure():
+    """Table 4's sign structure at Mega: STT adds LUTs+FFs, STT-Rename
+    is the FF-heaviest (checkpoints), NDA saves LUTs."""
+    base = estimate_area(MEGA, "baseline")
+    rename = estimate_area(MEGA, "stt-rename")
+    issue = estimate_area(MEGA, "stt-issue")
+    nda = estimate_area(MEGA, "nda")
+    r_luts, r_ffs = rename.relative_to(base)
+    i_luts, i_ffs = issue.relative_to(base)
+    n_luts, n_ffs = nda.relative_to(base)
+    assert 1.03 < r_luts < 1.10 and 1.06 < r_ffs < 1.13
+    assert 1.03 < i_luts < 1.10 and 1.01 < i_ffs < 1.07
+    assert n_luts < 1.0 and 1.0 < n_ffs < 1.06
+    assert r_ffs > i_ffs  # checkpoints dominate the FF delta
+
+
+def test_area_scales_with_config():
+    small = estimate_area(SMALL, "baseline")
+    mega = estimate_area(MEGA, "baseline")
+    assert mega.luts > small.luts
+    assert mega.ffs > small.ffs
+
+
+def _stats(**overrides):
+    stats = SimStats(cycles=1000, committed_instructions=1500,
+                     fetched_instructions=1800, committed_loads=300,
+                     committed_branches=200)
+    for key, value in overrides.items():
+        setattr(stats, key, value)
+    return stats
+
+
+def test_power_nda_below_baseline():
+    base = estimate_power(MEGA, "baseline", _stats(wasted_issue_slots=120,
+                                                   spec_wakeup_kills=40))
+    nda = estimate_power(MEGA, "nda", _stats(deferred_broadcasts=100))
+    assert nda.relative_to(base) < 1.0
+
+
+def test_power_stt_issue_above_baseline():
+    base = estimate_power(MEGA, "baseline", _stats())
+    issue = estimate_power(MEGA, "stt-issue", _stats(wasted_issue_slots=80))
+    assert issue.relative_to(base) > 1.0
+
+
+def test_stage_delays_positive_and_complete():
+    for config in named_configs():
+        for scheme in SCHEMES:
+            delays = scheme_stage_delays(config, scheme)
+            for stage, value in delays.as_dict().items():
+                assert value > 0, (config.name, scheme, stage)
+            stage, worst = delays.critical()
+            assert worst == max(delays.as_dict().values())

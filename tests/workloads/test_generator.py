@@ -1,0 +1,97 @@
+"""Tests for the workload generator and SPEC proxy suite."""
+
+import pytest
+
+from repro.isa.interp import run_reference
+from repro.workloads.characteristics import SPEC_BENCHMARKS, SPEC_PROFILES, spec_profile
+from repro.workloads.generator import WorkloadProfile, generate_program
+from repro.workloads.spec2017 import spec_suite
+
+
+def test_generated_programs_terminate_and_validate():
+    profile = WorkloadProfile(name="t", iterations=5, body_templates=6)
+    program = generate_program(profile, seed=3)
+    program.validate()
+    interp = run_reference(program, max_steps=1_000_000)
+    assert interp.state.halted
+
+
+def test_generation_is_deterministic():
+    profile = WorkloadProfile(name="t", iterations=5)
+    a = generate_program(profile, seed=9)
+    b = generate_program(profile, seed=9)
+    assert a.instructions == b.instructions
+    assert a.initial_memory == b.initial_memory
+
+
+def test_different_seeds_differ():
+    profile = WorkloadProfile(name="t", iterations=5)
+    a = generate_program(profile, seed=1)
+    b = generate_program(profile, seed=2)
+    assert a.instructions != b.instructions or a.initial_memory != b.initial_memory
+
+
+def test_dynamic_length_scales_with_iterations():
+    short = generate_program(WorkloadProfile(name="t", iterations=4), seed=1)
+    long_ = generate_program(WorkloadProfile(name="t", iterations=16), seed=1)
+    steps_short = run_reference(short).instructions_retired
+    steps_long = run_reference(long_).instructions_retired
+    assert steps_long > 3 * steps_short
+
+
+def test_branch_quota_guaranteed_for_branchy_profiles():
+    profile = WorkloadProfile(name="t", iterations=2, body_templates=4,
+                              w_branch=2.0)
+    program = generate_program(profile, seed=5)
+    assert any(i.is_branch for i in program.instructions[:-1])
+
+
+def test_zero_weight_templates_absent():
+    profile = WorkloadProfile(
+        name="t", iterations=2, w_chase_load=0.0, w_div=0.0, w_mul=0.0,
+        w_store=0.0, w_reload=0.0,
+    )
+    program = generate_program(profile, seed=5)
+    ops = {i.op.value for i in program.instructions}
+    assert "div" not in ops and "mul" not in ops
+    # The trailing result-publishing store is expected; no scratch stores.
+    body_stores = [i for i in program.instructions[:-2] if i.is_store]
+    assert not body_stores
+
+
+def test_all_spec_benchmarks_have_profiles():
+    assert set(SPEC_BENCHMARKS) == set(SPEC_PROFILES)
+    assert len(SPEC_BENCHMARKS) == 22
+
+
+def test_profile_lookup_by_short_name():
+    assert spec_profile("mcf") is SPEC_PROFILES["505.mcf"]
+    assert spec_profile("505.mcf") is SPEC_PROFILES["505.mcf"]
+    with pytest.raises(KeyError):
+        spec_profile("nonexistent")
+
+
+def test_suite_generation_subset_and_scale():
+    suite = spec_suite(scale=0.1, benchmarks=["503.bwaves", "505.mcf"])
+    assert [name for name, _ in suite] == ["503.bwaves", "505.mcf"]
+    for _name, program in suite:
+        program.validate()
+
+
+def test_suite_programs_all_halt():
+    for name, program in spec_suite(scale=0.05):
+        interp = run_reference(program, max_steps=2_000_000)
+        assert interp.state.halted, name
+
+
+def test_exchange2_profile_is_forwarding_heavy():
+    profile = SPEC_PROFILES["548.exchange2"]
+    assert profile.scratch_words <= 32
+    assert profile.w_store + profile.w_reload > 3.0
+
+
+def test_streaming_profiles_have_no_data_branches():
+    for name in ("503.bwaves", "554.roms"):
+        profile = SPEC_PROFILES[name]
+        assert profile.branch_entropy == 0.0
+        assert profile.branch_on_load == 0.0

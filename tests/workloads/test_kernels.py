@@ -1,0 +1,60 @@
+"""Tests for the hand-written micro-kernels."""
+
+from repro import MEGA, OoOCore
+from repro.isa.interp import run_reference
+from repro.workloads.generator import ARRAY_BASE, RING_BASE, SCRATCH_BASE
+from repro.workloads.kernels import (
+    chase_kernel,
+    forwarding_kernel,
+    streaming_kernel,
+)
+
+
+def test_streaming_kernel_sums_correctly():
+    program = streaming_kernel(iterations=32, array_words=256)
+    interp = run_reference(program)
+    expected = sum(
+        program.initial_memory[ARRAY_BASE + (i % 256)] for i in range(32)
+    )
+    assert interp.state.read_mem(0) == expected
+
+
+def test_chase_kernel_follows_the_ring():
+    program = chase_kernel(iterations=10, ring_words=16)
+    interp = run_reference(program)
+    cursor = RING_BASE
+    for _ in range(10):
+        cursor = program.initial_memory[cursor]
+    assert interp.state.read_mem(0) == cursor
+
+
+def test_chase_ring_is_a_single_cycle():
+    program = chase_kernel(iterations=1, ring_words=32)
+    seen = set()
+    cursor = RING_BASE
+    for _ in range(32):
+        assert cursor not in seen
+        seen.add(cursor)
+        cursor = program.initial_memory[cursor]
+    assert cursor == RING_BASE  # closed ring covering every cell
+
+
+def test_forwarding_kernel_halts_and_matches():
+    program = forwarding_kernel(iterations=30)
+    interp = run_reference(program)
+    result = OoOCore(program, config=MEGA).run()
+    assert result.regs[10] == interp.state.read_reg(10)
+
+
+def test_kernels_scale_with_iterations():
+    short = run_reference(streaming_kernel(iterations=8)).instructions_retired
+    long_ = run_reference(streaming_kernel(iterations=32)).instructions_retired
+    assert long_ > 3 * short
+
+
+def test_kernel_memory_regions_disjoint():
+    program = forwarding_kernel(iterations=4, slots=8)
+    scratch = {a for a in program.initial_memory if a >= SCRATCH_BASE}
+    array = {a for a in program.initial_memory if ARRAY_BASE <= a < RING_BASE}
+    assert scratch and array
+    assert not scratch.intersection(array)
