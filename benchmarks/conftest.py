@@ -5,6 +5,13 @@ the experiment through the shared (memoised) campaign runner, prints
 the rendered report, appends it to ``results/experiments.txt``, and
 times the computation with pytest-benchmark.
 
+The runner is constructed lazily inside the session fixture (nothing
+simulates — or even builds workloads — at collection time) and is
+backed by the persistent store under ``results/store/``, so repeated
+bench runs skip every already-simulated cell.  The cache key includes
+the workload scale, so changing ``REPRO_BENCH_SCALE`` can never reuse
+a stale cell.
+
 ``REPRO_BENCH_SCALE`` (environment variable, default 1.0) multiplies
 every workload's iteration count: raise it for tighter measurements,
 lower it for smoke runs.
@@ -15,18 +22,19 @@ import pathlib
 
 import pytest
 
-from repro.harness.runner import CampaignRunner
-
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
 
 _SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
-_RUNNER = CampaignRunner(scale=_SCALE)
 
 
 @pytest.fixture(scope="session")
 def runner():
     """The process-wide simulation campaign (memoised across benches)."""
-    return _RUNNER
+    from repro.harness.runner import CampaignRunner
+    from repro.harness.store import ResultStore
+
+    store = ResultStore(RESULTS_DIR / "store")
+    return CampaignRunner(scale=_SCALE, store=store)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,153 @@
+"""Command-line front end for the campaign engine: ``python -m repro``.
+
+Subcommands:
+
+``list``
+    Print every experiment id.
+``grid``
+    Populate the (benchmark x config x scheme) grid — in parallel with
+    ``--jobs N`` — and print a cache/store/simulated summary.
+``run EXPERIMENT [EXPERIMENT ...]``
+    Run named experiments (or ``all``) and print their reports.  With
+    ``--jobs > 1`` only the grid slices those experiments actually read
+    are pre-populated in parallel first, so the experiments themselves
+    are served from cache.
+
+Shared flags: ``--scale`` and ``--seed`` select the workload build,
+``--benchmarks`` restricts the suite, ``--jobs`` sets worker count,
+``--store-dir`` relocates the persistent store, and ``--no-store``
+disables it entirely (purely in-memory run).
+"""
+
+import argparse
+import sys
+
+from repro.core.factory import SCHEME_NAMES
+from repro.harness.experiments import (
+    experiment_grid_needs,
+    experiment_ids,
+    run_experiment,
+)
+from repro.harness.runner import CampaignRunner
+from repro.harness.store import DEFAULT_STORE_DIR, ResultStore
+from repro.pipeline.config import boom_config
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run ShadowBinding reproduction campaigns.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="print every experiment id")
+
+    def add_common(p):
+        p.add_argument("--scale", type=float, default=1.0,
+                       help="workload iteration multiplier (default 1.0)")
+        p.add_argument("--seed", type=int, default=2017,
+                       help="workload generation seed (default 2017)")
+        p.add_argument("--jobs", type=int, default=1,
+                       help="parallel simulation workers (default 1)")
+        p.add_argument("--benchmarks", nargs="+", metavar="NAME",
+                       help="restrict to these benchmarks")
+        p.add_argument("--store-dir", default=DEFAULT_STORE_DIR,
+                       help="persistent store root (default %(default)s)")
+        p.add_argument("--no-store", action="store_true",
+                       help="skip the on-disk store (in-memory only)")
+
+    grid = sub.add_parser("grid", help="populate the simulation grid")
+    add_common(grid)
+    grid.add_argument("--configs", nargs="+", metavar="NAME",
+                      help="BOOM config names (default: all four)")
+    grid.add_argument("--schemes", nargs="+", metavar="NAME",
+                      help="scheme names (default: all four)")
+
+    run = sub.add_parser("run", help="run named experiments (or 'all')")
+    add_common(run)
+    run.add_argument("experiments", nargs="+", metavar="EXPERIMENT",
+                     help="experiment ids, or 'all'")
+    return parser
+
+
+def make_runner(args):
+    store = None if args.no_store else ResultStore(args.store_dir)
+    return CampaignRunner(scale=args.scale, seed=args.seed,
+                          benchmarks=args.benchmarks, store=store,
+                          jobs=args.jobs)
+
+
+def cmd_grid(args):
+    runner = make_runner(args)
+    configs = ([boom_config(name) for name in args.configs]
+               if args.configs else None)
+    schemes = tuple(args.schemes) if args.schemes else SCHEME_NAMES
+    summary = runner.run_grid(configs=configs, schemes=schemes,
+                              jobs=args.jobs)
+    print("grid: %(total)d cells — %(simulated)d simulated, "
+          "%(from_store)d from store, %(cached)d cached" % summary)
+    return 0
+
+
+def _needed_cells(experiment_ids_, runner):
+    """Union of grid cells the requested experiments will read.
+
+    Only these are pre-populated in parallel — asking for one small
+    experiment never pays for the full standard grid.
+    """
+    cells, seen = [], set()
+    for experiment_id in experiment_ids_:
+        needs = experiment_grid_needs(experiment_id)
+        if needs is None:
+            continue
+        configs, schemes, benchmarks = needs
+        selected = [b for b in (benchmarks or runner.benchmarks)
+                    if b in runner.benchmarks]
+        for config in configs:
+            for scheme in schemes:
+                for benchmark in selected:
+                    key = (benchmark, config.fingerprint(), scheme)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    cells.append((benchmark, config, scheme))
+    return cells
+
+
+def cmd_run(args):
+    ids = list(args.experiments)
+    if ids == ["all"]:
+        ids = experiment_ids()
+    unknown = [i for i in ids if i not in experiment_ids()]
+    if unknown:
+        print("unknown experiment(s): %s (choose from %s)"
+              % (", ".join(unknown), ", ".join(experiment_ids())),
+              file=sys.stderr)
+        return 2
+    runner = make_runner(args)
+    if args.jobs > 1:
+        cells = _needed_cells(ids, runner)
+        if cells:
+            summary = runner.run_cell_batch(cells, jobs=args.jobs)
+            print("grid pre-populated (%(total)d cells): "
+                  "%(simulated)d simulated, %(from_store)d from store, "
+                  "%(cached)d cached" % summary)
+    for experiment_id in ids:
+        report = run_experiment(experiment_id, runner=runner)
+        print(report)
+        print()
+    return 0
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        print("\n".join(experiment_ids()))
+        return 0
+    if args.command == "grid":
+        return cmd_grid(args)
+    return cmd_run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

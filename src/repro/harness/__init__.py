@@ -1,12 +1,56 @@
-"""Experiment harness: one entry per paper table/figure.
+"""Campaign engine: content-addressed, disk-backed, parallel.
 
 :class:`~repro.harness.runner.CampaignRunner` executes the
-(benchmark x config x scheme) simulation grid once and caches results;
+(benchmark x config x scheme) simulation grid and caches results;
 :mod:`repro.harness.experiments` turns the cached grid into each
 table/figure of the paper, rendered as text and returned as data.
+
+**Cache key.**  Every grid cell is identified by
+:func:`~repro.harness.store.simulation_key`, a SHA-256 over the
+canonical JSON of the complete simulation identity: the full
+``CoreConfig`` parameter record (every field, nested ``MemConfig``
+included), the scheme name plus constructor kwargs, the workload
+scale/seed, and a model version stamp.  Display names carry no
+identity, so same-named-but-different configurations can never alias.
+
+**Store layout.**  With a :class:`~repro.harness.store.ResultStore`
+attached, each cell round-trips through one JSON file::
+
+    results/store/<benchmark>__<config>__<scheme>__<digest12>.json
+    {"key": ..., "model_version": ..., "meta": {...}, "result": {...}}
+
+Only the digest carries identity; the readable prefix is for humans.
+Writes are atomic (temp file + rename).
+
+**Version invalidation.**  The model version stamp
+(:data:`~repro.harness.store.MODEL_VERSION`, the package version)
+participates in every hash: bumping the version changes every key, so
+results computed by an older simulator are never reused — they simply
+stop being found.  Stale files can be pruned with ``ResultStore.clear``.
+
+**Parallel execution.**  :meth:`CampaignRunner.run_grid` shards the
+*uncached* cells of a grid across a ``multiprocessing`` pool
+(:mod:`repro.harness.parallel`) and merges results back into the cache
+and store; regenerating all paper artefacts is then bounded by the
+slowest shard, not the sum of the grid.  Pools that cannot be created
+degrade to a serial fallback.
+
+**CLI.**  All of this is scriptable via ``python -m repro``::
+
+    python -m repro list                       # experiment ids
+    python -m repro grid --jobs 8              # populate the full grid
+    python -m repro run figure6 table3         # named experiments
+    python -m repro run all --jobs 8           # everything, parallel
+    python -m repro run table1 --scale 0.1 --no-store
+
+``--jobs N`` fans simulation out over N workers, ``--scale`` /
+``--seed`` select the workload build, ``--store-dir`` relocates the
+persistent store, and ``--no-store`` keeps a run purely in-memory.
 """
 
 from repro.harness.runner import CampaignRunner, shared_runner
+from repro.harness.store import MODEL_VERSION, ResultStore, simulation_key
+from repro.harness.parallel import run_cells, simulate_cell
 from repro.harness.experiments import (
     EXPERIMENTS,
     run_experiment,
@@ -16,6 +60,11 @@ from repro.harness.experiments import (
 __all__ = [
     "CampaignRunner",
     "shared_runner",
+    "ResultStore",
+    "simulation_key",
+    "MODEL_VERSION",
+    "run_cells",
+    "simulate_cell",
     "EXPERIMENTS",
     "run_experiment",
     "experiment_ids",

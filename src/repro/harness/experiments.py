@@ -111,7 +111,8 @@ def experiment_figure6(runner, config=None):
 # Figure 7: normalized IPC per scheme across all four configurations.
 # ----------------------------------------------------------------------
 
-def experiment_figure7(runner):
+def experiment_figure7(runner, configs=None):
+    configs = list(configs or named_configs())
     data = {}
     sections = []
     for scheme in SCHEMES:
@@ -119,7 +120,7 @@ def experiment_figure7(runner):
         rows = []
         for name in runner.benchmarks:
             row = [name]
-            for config in named_configs():
+            for config in configs:
                 base = runner.run(name, config, "baseline")
                 result = runner.run(name, config, scheme)
                 value = normalized_ipc(result, base)
@@ -127,7 +128,7 @@ def experiment_figure7(runner):
                 row.append(value)
             rows.append(row)
         mean_row = ["arithmetic-mean"]
-        for config in named_configs():
+        for config in configs:
             baseline_results = runner.suite_results(config, "baseline")
             scheme_results = runner.suite_results(config, scheme)
             mean = suite_normalized_ipc(scheme_results, baseline_results)
@@ -137,7 +138,9 @@ def experiment_figure7(runner):
         data[scheme] = per_config
         sections.append(
             format_table(
-                ["Benchmark", "small", "medium", "large", "mega"],
+                # Headers come from the configs actually iterated, so a
+                # custom config list never mislabels columns.
+                ["Benchmark"] + [config.name for config in configs],
                 rows,
                 title="Figure 7 (%s): normalized IPC per configuration" % scheme,
             )
@@ -522,6 +525,39 @@ EXPERIMENTS = {
 
 def experiment_ids():
     return sorted(EXPERIMENTS)
+
+
+def experiment_grid_needs(experiment_id):
+    """Grid cells an experiment reads through the runner cache.
+
+    Returns ``(configs, schemes, benchmarks)`` — ``benchmarks=None``
+    meaning the runner's full selection — or ``None`` for experiments
+    that bypass the cache entirely (the ablations build cores directly;
+    figure9 is analytic).  Callers use this to pre-populate *only* the
+    slices a requested experiment will consume, instead of the whole
+    standard grid.
+    """
+    from repro.gem5.model import GEM5_EXCLUDED
+    from repro.pipeline.config import LARGE, MEDIUM, MEGA
+    from repro.workloads.characteristics import SPEC_BENCHMARKS
+
+    all_schemes = ("baseline",) + SCHEMES
+    gem5_comparable = tuple(
+        b for b in SPEC_BENCHMARKS if b not in GEM5_EXCLUDED
+    )
+    needs = {
+        "table1": (named_configs(), ("baseline",), None),
+        "figure6": ([MEGA], all_schemes, None),
+        "figure7": (named_configs(), all_schemes, None),
+        "figure8": (named_configs(), all_schemes, None),
+        "figure10": (named_configs(), ("baseline",), None),
+        "table3": (named_configs(), all_schemes, None),
+        "figure1": (named_configs(), all_schemes, None),
+        "table4": ([MEGA], all_schemes, None),
+        "table5": ([MEDIUM, LARGE, MEGA], all_schemes, gem5_comparable),
+        "exchange2": ([MEGA], all_schemes, ("548.exchange2",)),
+    }
+    return needs.get(experiment_id)
 
 
 def run_experiment(experiment_id, runner=None, **kwargs):

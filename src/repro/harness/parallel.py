@@ -1,0 +1,71 @@
+"""Parallel execution of campaign grid cells.
+
+A *cell spec* is the picklable tuple
+``(benchmark, config, scheme_name, scheme_kwargs, scale, seed)`` — the
+same identity that :func:`repro.harness.store.simulation_key` hashes.
+:func:`run_cells` shards a list of specs across a ``multiprocessing``
+pool and returns results in spec order; each worker regenerates its
+benchmark program locally (generation is seeded and per-benchmark
+independent, so a subset build is bit-identical to a full-suite build)
+and simulates the cell from scratch.  Anything that prevents pool
+creation (restricted sandboxes, missing ``/dev/shm``) degrades to the
+serial fallback rather than failing the campaign.
+"""
+
+import multiprocessing
+import os
+
+from repro.core.factory import make_scheme
+from repro.pipeline.core import OoOCore
+from repro.workloads.spec2017 import spec_suite
+
+
+def default_jobs():
+    """Worker count when the caller does not specify one."""
+    return max(1, os.cpu_count() or 1)
+
+
+def simulate_cell(spec):
+    """Simulate one grid cell from its spec; returns a SimulationResult.
+
+    Top-level (not nested) so it is picklable by multiprocessing.
+    """
+    benchmark, config, scheme_name, scheme_kwargs, scale, seed = spec
+    programs = dict(spec_suite(scale=scale, seed=seed, benchmarks=(benchmark,)))
+    core = OoOCore(
+        programs[benchmark],
+        config=config,
+        scheme=make_scheme(scheme_name, **dict(scheme_kwargs or {})),
+        warm_caches=True,
+    )
+    return core.run()
+
+
+def run_cells(specs, jobs=None):
+    """Simulate every spec, fanning out across ``jobs`` workers.
+
+    Returns results in the same order as ``specs``.  ``jobs=None`` uses
+    :func:`default_jobs`; ``jobs<=1`` (or a single spec, or any failure
+    to stand up a pool) runs serially in-process.
+    """
+    specs = list(specs)
+    if not specs:
+        return []
+    jobs = default_jobs() if jobs is None else int(jobs)
+    jobs = min(jobs, len(specs))
+    if jobs <= 1:
+        return [simulate_cell(spec) for spec in specs]
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:
+        ctx = multiprocessing.get_context()
+    # Only pool *creation* falls back to serial; once workers exist, an
+    # exception raised inside simulate_cell propagates to the caller
+    # (exactly as a serial run would) instead of silently discarding
+    # the parallel work and re-running everything in-process.
+    try:
+        pool = ctx.Pool(processes=jobs)
+    except (OSError, PermissionError, RuntimeError):
+        return [simulate_cell(spec) for spec in specs]
+    with pool:
+        return pool.map(simulate_cell, specs, chunksize=1)

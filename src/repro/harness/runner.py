@@ -1,12 +1,32 @@
-"""Simulation campaign runner with memoisation.
+"""Simulation campaign engine: content-addressed cache + executor.
 
 Regenerating every table and figure needs the full
 (22 benchmarks x 4 configs x 4 schemes) grid; many experiments share
-slices of it, so one shared runner caches every simulation result by
-(benchmark, config, scheme) key for the lifetime of the process.
+slices of it, so one shared runner caches every simulation result.
+
+Cache identity is the *full* simulation content, not display names:
+:func:`repro.harness.store.simulation_key` hashes the complete
+``CoreConfig`` (every field, nested ``MemConfig`` included), the scheme
+name and constructor kwargs, the workload scale/seed, and a model
+version stamp.  Two configurations that merely share a ``name`` can
+therefore never alias each other's cached results.
+
+Three layers cooperate:
+
+- the in-process dict cache (always on, per-runner);
+- an optional persistent :class:`~repro.harness.store.ResultStore`
+  (JSON-per-cell on disk) consulted before simulating and updated
+  after, so repeated processes skip already-simulated cells;
+- :func:`~repro.harness.parallel.run_cells`, which
+  :meth:`CampaignRunner.run_grid` uses to shard the *uncached* cells
+  of a grid across a multiprocessing pool (serial fallback included).
+
+``python -m repro`` exposes all of this on the command line.
 """
 
 from repro.core.factory import SCHEME_NAMES, make_scheme
+from repro.harness.parallel import run_cells
+from repro.harness.store import simulation_key
 from repro.pipeline.config import named_configs
 from repro.pipeline.core import OoOCore
 from repro.workloads.spec2017 import spec_suite
@@ -15,12 +35,15 @@ from repro.workloads.spec2017 import spec_suite
 class CampaignRunner:
     """Runs and caches the benchmark/config/scheme grid."""
 
-    def __init__(self, scale=1.0, seed=2017, benchmarks=None):
+    def __init__(self, scale=1.0, seed=2017, benchmarks=None, store=None,
+                 jobs=1):
         self.scale = scale
         self.seed = seed
         from repro.workloads.characteristics import SPEC_BENCHMARKS
 
         self.benchmarks = tuple(benchmarks or SPEC_BENCHMARKS)
+        self.store = store
+        self.jobs = jobs
         self._programs = None
         self._cache = {}
 
@@ -34,37 +57,145 @@ class CampaignRunner:
             )
         return self._programs
 
+    # -- cache identity ----------------------------------------------------
+
+    def cell_key(self, benchmark, config, scheme_name, scheme_kwargs=None):
+        """Content-addressed key for one grid cell."""
+        return simulation_key(
+            benchmark, config, scheme_name, scheme_kwargs=scheme_kwargs,
+            scale=self.scale, seed=self.seed,
+        )
+
+    def _cell_spec(self, benchmark, config, scheme_name, scheme_kwargs=None):
+        return (benchmark, config, scheme_name,
+                tuple(sorted((scheme_kwargs or {}).items())),
+                self.scale, self.seed)
+
     # -- simulation --------------------------------------------------------
 
-    def run(self, benchmark, config, scheme_name):
-        """Result for one cell of the grid (cached)."""
-        key = (benchmark, config.name, scheme_name)
-        if key not in self._cache:
+    def run(self, benchmark, config, scheme_name, **scheme_kwargs):
+        """Result for one cell of the grid (cached, store-backed)."""
+        key = self.cell_key(benchmark, config, scheme_name, scheme_kwargs)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        result = self.store.load(key) if self.store is not None else None
+        if result is None:
             program = self.programs()[benchmark]
-            core = OoOCore(program, config=config,
-                           scheme=make_scheme(scheme_name), warm_caches=True)
-            self._cache[key] = core.run()
-        return self._cache[key]
+            core = OoOCore(
+                program, config=config,
+                scheme=make_scheme(scheme_name, **scheme_kwargs),
+                warm_caches=True,
+            )
+            result = core.run()
+            self._persist(key, result, benchmark, config, scheme_name,
+                          scheme_kwargs)
+        self._cache[key] = result
+        return result
+
+    def _persist(self, key, result, benchmark, config, scheme_name,
+                 scheme_kwargs):
+        if self.store is None:
+            return
+        self.store.save(key, result, meta={
+            "benchmark": benchmark,
+            "config": config.name,
+            "scheme": scheme_name,
+            "scheme_kwargs": dict(scheme_kwargs or {}),
+            "scale": self.scale,
+            "seed": self.seed,
+        })
 
     def suite_results(self, config, scheme_name, benchmarks=None):
         """Results for all benchmarks under (config, scheme), in order."""
         selected = benchmarks or self.benchmarks
         return [self.run(name, config, scheme_name) for name in selected]
 
+    # -- grid execution ----------------------------------------------------
+
+    def run_grid(self, configs=None, schemes=SCHEME_NAMES, benchmarks=None,
+                 jobs=None):
+        """Populate a (benchmark x config x scheme) grid, in parallel.
+
+        Cells already in the in-process cache or the persistent store
+        are skipped; the remainder is sharded across ``jobs`` workers
+        (defaulting to the runner's ``jobs``) and merged back into both
+        cache layers.  Returns a summary dict with ``total``,
+        ``cached``, ``from_store``, and ``simulated`` counts.
+        """
+        configs = list(configs or named_configs())
+        benchmarks = tuple(benchmarks or self.benchmarks)
+        cells = [
+            (benchmark, config, scheme)
+            for config in configs
+            for scheme in schemes
+            for benchmark in benchmarks
+        ]
+        return self.run_cell_batch(cells, jobs=jobs)
+
+    def run_cell_batch(self, cells, jobs=None):
+        """Populate arbitrary ``(benchmark, config, scheme)`` cells.
+
+        The sparse counterpart of :meth:`run_grid`, for callers that
+        know exactly which cells they need (e.g. the CLI pre-populating
+        only the slices the requested experiments read).  Same caching,
+        store, and summary semantics.
+        """
+        jobs = self.jobs if jobs is None else jobs
+        # Dedup within the batch (identical cells hash identically), so
+        # repeated entries never reach the pool twice.
+        unique, seen = [], set()
+        for benchmark, config, scheme in cells:
+            key = self.cell_key(benchmark, config, scheme)
+            if key in seen:
+                continue
+            seen.add(key)
+            unique.append((key, benchmark, config, scheme))
+
+        summary = {"total": len(unique), "cached": 0, "from_store": 0,
+                   "simulated": 0}
+        pending = []
+        for key, benchmark, config, scheme in unique:
+            if key in self._cache:
+                summary["cached"] += 1
+                continue
+            if self.store is not None:
+                stored = self.store.load(key)
+                if stored is not None:
+                    self._cache[key] = stored
+                    summary["from_store"] += 1
+                    continue
+            pending.append((key, benchmark, config, scheme))
+
+        specs = [self._cell_spec(benchmark, config, scheme)
+                 for _key, benchmark, config, scheme in pending]
+        for (key, benchmark, config, scheme), result in zip(
+                pending, run_cells(specs, jobs=jobs)):
+            self._cache[key] = result
+            self._persist(key, result, benchmark, config, scheme, {})
+            summary["simulated"] += 1
+        return summary
+
     def full_grid(self, configs=None, schemes=SCHEME_NAMES):
         """Force-populate the whole grid (useful for timing the cost)."""
-        for config in configs or named_configs():
-            for scheme in schemes:
-                self.suite_results(config, scheme)
+        self.run_grid(configs=configs, schemes=schemes)
         return self
 
 
 _SHARED = {}
 
 
-def shared_runner(scale=1.0, seed=2017):
-    """Process-wide memoised runner for a given scale/seed."""
-    key = (scale, seed)
+def shared_runner(scale=1.0, seed=2017, benchmarks=None):
+    """Process-wide memoised runner for a given scale/seed/benchmarks.
+
+    The benchmark tuple participates in the key: a caller requesting a
+    subset gets a runner built for that subset, never one recycled from
+    a different selection.
+    """
+    from repro.workloads.characteristics import SPEC_BENCHMARKS
+
+    key = (scale, seed, tuple(benchmarks or SPEC_BENCHMARKS))
     if key not in _SHARED:
-        _SHARED[key] = CampaignRunner(scale=scale, seed=seed)
+        _SHARED[key] = CampaignRunner(scale=scale, seed=seed,
+                                      benchmarks=key[2])
     return _SHARED[key]

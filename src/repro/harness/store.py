@@ -1,0 +1,183 @@
+"""Persistent, content-addressed store for simulation results.
+
+Every cell of the campaign grid is identified by
+:func:`simulation_key`: a SHA-256 over the canonical JSON of the
+*complete* simulation identity —
+
+- the full :class:`~repro.pipeline.config.CoreConfig` parameter record
+  (every field, including the nested ``MemConfig``), not just its
+  display name;
+- the scheme name plus any scheme constructor kwargs;
+- the workload ``scale`` and ``seed``;
+- a model version stamp (:data:`MODEL_VERSION`).
+
+Keying on content rather than names fixes the classic collision: two
+distinct configurations that happen to share a name (two ad-hoc
+``CoreConfig(...)`` both called ``"custom"``) can never alias each
+other's results.  Bumping the package version invalidates every stored
+cell at once, because the stamp participates in the hash.
+
+On disk the store is one JSON file per cell under its root directory
+(``results/store/`` by default)::
+
+    results/store/<benchmark>__<config>__<scheme>__<digest12>.json
+
+Filenames embed a human-readable prefix purely for browsability; only
+the digest carries identity.  Writes are atomic (temp file + rename),
+so a crashed or parallel run never leaves a truncated cell behind.
+"""
+
+import hashlib
+import json
+import os
+import pathlib
+import re
+import tempfile
+
+from repro import __version__
+from repro.pipeline.core import SimulationResult
+
+#: Stamp hashed into every key; results computed by a different model
+#: version are invisible (their keys differ), never silently reused.
+MODEL_VERSION = __version__
+
+#: Default on-disk location, overridable via the environment.
+DEFAULT_STORE_DIR = os.environ.get("REPRO_STORE_DIR", "results/store")
+
+_SAFE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def simulation_key(benchmark, config, scheme_name, scheme_kwargs=None,
+                   scale=1.0, seed=2017, model_version=MODEL_VERSION):
+    """Content hash identifying one grid cell; returns a hex digest."""
+    payload = {
+        "model_version": model_version,
+        "benchmark": benchmark,
+        # fingerprint() is the one canonical config hash; reusing it
+        # here keeps cache keys and any other fingerprint consumer in
+        # lock-step.
+        "config": config.fingerprint(),
+        "scheme": scheme_name.lower(),
+        "scheme_kwargs": dict(sorted((scheme_kwargs or {}).items())),
+        "scale": scale,
+        "seed": seed,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def cell_filename(benchmark, config_name, scheme_name, key):
+    """Browsable filename for one cell: readable prefix + digest."""
+    prefix = "__".join(
+        _SAFE.sub("-", part) for part in (benchmark, config_name, scheme_name)
+    )
+    return "%s__%s.json" % (prefix, key[:12])
+
+
+class ResultStore:
+    """JSON-per-cell result store rooted at one directory."""
+
+    def __init__(self, root=None):
+        self.root = pathlib.Path(root or DEFAULT_STORE_DIR)
+        self._paths = None  # key-prefix -> path index, built lazily
+        self._indexed_mtime = None  # directory mtime when last indexed
+
+    # -- indexing ---------------------------------------------------------
+
+    def _dir_mtime(self):
+        try:
+            return self.root.stat().st_mtime_ns
+        except OSError:
+            return None
+
+    def _index(self, refresh=False):
+        if self._paths is None or refresh:
+            paths = {}
+            self._indexed_mtime = self._dir_mtime()
+            if self.root.is_dir():
+                for path in self.root.glob("*.json"):
+                    key = path.stem.rsplit("__", 1)[-1]
+                    paths[key] = path
+            self._paths = paths
+        return self._paths
+
+    def _lookup(self, key):
+        path = self._index().get(key[:12])
+        if path is None and self._dir_mtime() != self._indexed_mtime:
+            # A writer (possibly another process) added or removed
+            # cells since the index was built; the mtime gate keeps
+            # repeated misses (a cold batch run) at one cheap stat
+            # each instead of a full directory re-glob per cell.
+            path = self._index(refresh=True).get(key[:12])
+        return path
+
+    def __contains__(self, key):
+        return self._lookup(key) is not None
+
+    def __len__(self):
+        return len(self._index(refresh=True))
+
+    def keys(self):
+        """Full keys of every stored cell."""
+        keys = []
+        for path in self._index(refresh=True).values():
+            try:
+                with open(path) as handle:
+                    keys.append(json.load(handle)["key"])
+            except (OSError, ValueError, KeyError):
+                continue
+        return keys
+
+    # -- round-tripping ---------------------------------------------------
+
+    def load(self, key):
+        """Return the stored :class:`SimulationResult`, or ``None``."""
+        path = self._lookup(key)
+        if path is None:
+            return None
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if data.get("key") != key:
+            return None  # digest-prefix collision or stale file
+        return SimulationResult.from_dict(data["result"])
+
+    def save(self, key, result, meta=None):
+        """Persist one result atomically; returns its path."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "key": key,
+            "model_version": MODEL_VERSION,
+            "meta": dict(meta or {}),
+            "result": result.to_dict(),
+        }
+        name = cell_filename(
+            result.program_name, result.config_name, result.scheme_name, key
+        )
+        path = self.root / name
+        fd, tmp = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        if self._paths is not None:
+            self._paths[key[:12]] = path
+        return path
+
+    def clear(self):
+        """Delete every stored cell (keeps the directory)."""
+        for path in self._index(refresh=True).values():
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        self._paths = {}

@@ -10,6 +10,11 @@ from repro.memsys.prefetcher import StridePrefetcher
 class MemConfig:
     """Geometry and latencies of the data-side memory hierarchy.
 
+    The dataclass is frozen, so instances are hashable and compare by
+    value — they participate in ``CoreConfig.to_dict()`` /
+    ``fingerprint()`` and therefore in the campaign engine's
+    content-addressed cache keys (every field below changes the key).
+
     Latencies are *additional* cycles after address generation; an L1
     hit therefore has a load-to-use latency of ``l1_latency`` cycles.
     The defaults mirror a BOOM-class configuration: a 4-cycle 32 KiB-ish

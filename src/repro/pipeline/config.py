@@ -6,7 +6,9 @@ entries; the remaining structure sizes follow SonicBOOM's published
 configurations at the model's level of abstraction.
 """
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
 
 from repro.memsys.hierarchy import MemConfig
 
@@ -76,6 +78,25 @@ class CoreConfig:
     def scaled(self, **overrides):
         """Return a copy with the given fields replaced."""
         return replace(self, **overrides)
+
+    def to_dict(self):
+        """Every parameter as a plain dict, nested MemConfig included."""
+        return asdict(self)
+
+    def fingerprint(self):
+        """Stable content hash of every *simulation-relevant* parameter.
+
+        The display ``name`` is excluded: it carries no identity, so
+        two configurations that merely share a name (two ad-hoc
+        ``CoreConfig(...)`` both called ``"custom"``) hash differently,
+        while renaming a parameter-identical config hashes the same —
+        caches keyed on the fingerprint neither alias the former nor
+        needlessly resimulate the latter.
+        """
+        data = self.to_dict()
+        data.pop("name")
+        blob = json.dumps(data, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 def boom_config(size):

@@ -24,7 +24,7 @@ Per-cycle phase order (chosen so values flow like bypass networks):
 """
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.core.factory import make_scheme
 from repro.core.plugin import SchemeBase
@@ -68,6 +68,39 @@ class SimulationResult:
     @property
     def ipc(self):
         return self.stats.ipc
+
+    def to_dict(self):
+        """JSON-serialisable form (see :meth:`from_dict` for the inverse).
+
+        Memory addresses become string keys (JSON objects only have
+        string keys); :meth:`from_dict` converts them back to ints.
+        """
+        return {
+            "program_name": self.program_name,
+            "scheme_name": self.scheme_name,
+            "config_name": self.config_name,
+            "stats": self.stats.to_dict(),
+            "regs": list(self.regs),
+            "memory": {str(addr): value for addr, value in self.memory.items()},
+            "halted": self.halted,
+            "cycles": self.cycles,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild a result from :meth:`to_dict` output (e.g. JSON)."""
+        return cls(
+            program_name=data["program_name"],
+            scheme_name=data["scheme_name"],
+            config_name=data["config_name"],
+            stats=SimStats.from_dict(data["stats"]),
+            regs=list(data["regs"]),
+            memory={int(addr): value for addr, value in data["memory"].items()},
+            halted=data["halted"],
+            cycles=data.get("cycles", 0),
+            extra=dict(data.get("extra", {})),
+        )
 
 
 class OoOCore:
@@ -180,9 +213,12 @@ class OoOCore:
         regs = [0] * NUM_ARCH_REGS
         for arch in range(1, NUM_ARCH_REGS):
             regs[arch] = self.prf.read(self.rename.arch_rat[arch])
-        stats = self.stats
-        stats.extra.update(self.scheme.extra_stats())
-        stats.extra.update(self.hierarchy.stats())
+        # Merge scheme/hierarchy counters into a snapshot copy: the live
+        # self.stats stays untouched, so result() is idempotent.
+        extra = dict(self.stats.extra)
+        extra.update(self.scheme.extra_stats())
+        extra.update(self.hierarchy.stats())
+        stats = replace(self.stats, extra=extra)
         return SimulationResult(
             program_name=self.program.name,
             scheme_name=self.scheme.name,

@@ -76,16 +76,43 @@ class SimStats:
         return 1000.0 * total / self.committed_instructions
 
     def as_dict(self):
-        """Flatten to a plain dict (including derived rates)."""
+        """Flatten to a plain dict (including derived rates).
+
+        Extra counters are namespaced as ``extra.<name>`` so a scheme
+        or hierarchy counter can never collide with (and silently
+        clobber, or be clobbered by) a core counter field or the
+        derived ``ipc``/``mpki`` rates.
+        """
         data = {
             name: getattr(self, name)
             for name in self.__dataclass_fields__
             if name != "extra"
         }
-        data.update(self.extra)
+        for name, value in self.extra.items():
+            data["extra.%s" % name] = value
         data["ipc"] = self.ipc
         data["mpki"] = self.mpki
         return data
+
+    def to_dict(self):
+        """Lossless serialisation: raw fields only, ``extra`` nested."""
+        data = {
+            name: getattr(self, name)
+            for name in self.__dataclass_fields__
+            if name != "extra"
+        }
+        data["extra"] = dict(self.extra)
+        return data
+
+    @classmethod
+    def from_dict(cls, data):
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        known = set(cls.__dataclass_fields__)
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError("unknown SimStats fields: %s" % sorted(unknown))
+        kwargs = {k: v for k, v in data.items() if k != "extra"}
+        return cls(extra=dict(data.get("extra", {})), **kwargs)
 
     def summary(self):
         """Short human-readable summary string."""
