@@ -1,19 +1,53 @@
 """Engineering benchmark: simulator throughput itself.
 
 Not a paper artefact — this tracks the model's cycles-per-second so
-performance regressions in the simulator are visible in CI.
+performance regressions in the simulator are visible in CI.  The
+workloads come from the same canonical suite as ``python -m repro
+bench`` (:func:`repro.harness.bench.throughput_suite`), so the CLI's
+JSON report and this pytest-benchmark number always measure the same
+thing.  The suite is built once per module (nothing is generated at
+collection time; parametrisation uses the static label tuple).
 """
 
+import pytest
+
+from repro.core.factory import make_scheme
+from repro.harness.bench import (
+    THROUGHPUT_LABELS,
+    run_throughput_bench,
+    throughput_suite,
+)
 from repro.pipeline.config import MEGA
 from repro.pipeline.core import OoOCore
-from repro.workloads.kernels import streaming_kernel
+
+
+@pytest.fixture(scope="module")
+def suite():
+    """label -> (program, warm), built once for every bench below."""
+    return {label: (program, warm)
+            for label, program, warm in throughput_suite()}
+
+
+@pytest.mark.parametrize("label", THROUGHPUT_LABELS)
+def test_workload_throughput(benchmark, suite, label):
+    """Time one canonical throughput workload (best-of pytest-benchmark)."""
+    program, warm = suite[label]
+
+    def run():
+        return OoOCore(program, config=MEGA, scheme=make_scheme("baseline"),
+                       warm_caches=warm).run()
+
+    result = benchmark(run)
+    assert result.stats.committed_instructions > 100
 
 
 def test_simulation_throughput(benchmark):
-    program = streaming_kernel(iterations=300, array_words=1024)
+    """The aggregate suite report (the ``python -m repro bench`` number)."""
 
     def run():
-        return OoOCore(program, config=MEGA, warm_caches=True).run()
+        return run_throughput_bench(repeats=1)
 
-    result = benchmark(run)
-    assert result.stats.committed_instructions > 1000
+    report = benchmark(run)
+    aggregate = report["aggregate"]
+    assert aggregate["instructions"] > 1000
+    assert aggregate["cycles_per_second"] > 0

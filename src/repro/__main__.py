@@ -12,6 +12,14 @@ Subcommands:
     ``--jobs > 1`` only the grid slices those experiments actually read
     are pre-populated in parallel first, so the experiments themselves
     are served from cache.
+``bench``
+    Measure simulator throughput (simulated cycles/sec, committed KIPS)
+    over the canonical workload suite; prints JSON so the BENCH
+    trajectory can track kernel regressions.
+``profile``
+    cProfile one grid cell (default: the ``chase-cold`` throughput
+    workload on mega/baseline) and print the top cumulative entries —
+    the starting point for any simulator performance work.
 
 Shared flags: ``--scale`` and ``--seed`` select the workload build,
 ``--benchmarks`` restricts the suite, ``--jobs`` sets worker count,
@@ -67,6 +75,32 @@ def build_parser():
     add_common(run)
     run.add_argument("experiments", nargs="+", metavar="EXPERIMENT",
                      help="experiment ids, or 'all'")
+
+    bench = sub.add_parser(
+        "bench", help="measure simulator throughput (JSON report)")
+    bench.add_argument("--config", default="mega",
+                       help="BOOM config name (default mega)")
+    bench.add_argument("--scheme", default="baseline",
+                       help="scheme name (default baseline)")
+    bench.add_argument("--scale", type=float, default=1.0,
+                       help="workload iteration multiplier (default 1.0)")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="best-of-N runs per workload (default 3)")
+
+    profile = sub.add_parser(
+        "profile", help="cProfile one grid cell (top cumulative entries)")
+    profile.add_argument("--benchmark", default="chase-cold",
+                         help="throughput workload (default chase-cold)")
+    profile.add_argument("--config", default="mega",
+                         help="BOOM config name (default mega)")
+    profile.add_argument("--scheme", default="baseline",
+                         help="scheme name (default baseline)")
+    profile.add_argument("--scale", type=float, default=1.0,
+                         help="workload iteration multiplier (default 1.0)")
+    profile.add_argument("--top", type=int, default=25,
+                         help="profile entries to print (default 25)")
+    profile.add_argument("--sort", default="cumulative",
+                         help="pstats sort key (default cumulative)")
     return parser
 
 
@@ -139,6 +173,32 @@ def cmd_run(args):
     return 0
 
 
+def cmd_bench(args):
+    from repro.harness.bench import format_bench_report, run_throughput_bench
+
+    report = run_throughput_bench(
+        config=boom_config(args.config), scheme_name=args.scheme,
+        scale=args.scale, repeats=args.repeats,
+    )
+    print(format_bench_report(report))
+    return 0
+
+
+def cmd_profile(args):
+    from repro.harness.bench import profile_cell
+
+    text, result = profile_cell(
+        benchmark=args.benchmark, config_name=args.config,
+        scheme_name=args.scheme, scale=args.scale, top=args.top,
+        sort=args.sort,
+    )
+    print("profiled %s on %s/%s: %s"
+          % (args.benchmark, args.config, args.scheme,
+             result.stats.summary()))
+    print(text)
+    return 0
+
+
 def main(argv=None):
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -146,6 +206,10 @@ def main(argv=None):
         return 0
     if args.command == "grid":
         return cmd_grid(args)
+    if args.command == "bench":
+        return cmd_bench(args)
+    if args.command == "profile":
+        return cmd_profile(args)
     return cmd_run(args)
 
 

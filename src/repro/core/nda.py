@@ -80,6 +80,24 @@ class NDAScheme(SchemeBase):
                 remaining.append(uop)
         self._pending = remaining
 
+    def ff_quiescent(self):
+        """Idle-cycle fast-forward is legal unless a deferred broadcast
+        is releasable *now*: releases are budgeted per cycle and their
+        wait-time counter is attributed per release cycle, so the core
+        must step through them one cycle at a time.  Un-releasable
+        pending loads are inert — their release gate (visibility point,
+        D-shadow set) only moves via scheduled events."""
+        if not self._pending:
+            return True
+        vp = self.core.vp_now
+        d_pending = self.core.d_pending
+        for uop in self._pending:
+            if uop.killed:
+                continue
+            if uop.seq <= vp and uop.seq not in d_pending:
+                return False
+        return True
+
     def _release(self, uop, cycle):
         self.core.prf.set_ready(uop.prd)
         completed_at = uop.complete_cycle if uop.complete_cycle is not None else cycle

@@ -23,6 +23,20 @@ Hook call sites (in per-cycle order):
 """
 
 
+def overridden_hook(scheme, name):
+    """Bound hook method if ``scheme`` overrides it, else ``None``.
+
+    The pipeline's hot paths (issue select, rename, load completion,
+    the per-cycle visibility update) resolve their hooks through this
+    once at construction: a scheme that keeps a default (no-op /
+    permissive) implementation costs zero calls per micro-op instead of
+    one dynamic dispatch each.
+    """
+    if getattr(type(scheme), name) is getattr(SchemeBase, name):
+        return None
+    return getattr(scheme, name)
+
+
 class SchemeBase:
     """Default (permissive) implementations of every hook."""
 
@@ -75,6 +89,20 @@ class SchemeBase:
 
     def on_visibility_update(self, cycle):
         """Visibility point possibly advanced (post-writeback)."""
+
+    def ff_quiescent(self):
+        """May the core fast-forward over idle cycles right now?
+
+        Must return True only if repeating :meth:`on_visibility_update`
+        once per skipped cycle — with an unchanged visibility point and
+        no other pipeline activity — would change neither scheme state
+        nor core state (registers, statistics).  The default is safe
+        for any scheme that does not override
+        :meth:`on_visibility_update`; schemes with per-cycle state (the
+        STT broadcast lag, NDA's deferred-broadcast queue) override
+        this with an exact quiescence test.
+        """
+        return type(self).on_visibility_update is SchemeBase.on_visibility_update
 
     def extra_stats(self):
         """Scheme-specific counters merged into the run statistics."""

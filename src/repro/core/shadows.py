@@ -47,10 +47,13 @@ class ShadowTracker:
 
     def squash_younger(self, seq):
         """Drop shadows cast by squashed instructions (younger than seq)."""
-        stale = [s for s in self._active if s > seq]
-        for s in stale:
-            del self._active[s]
+        active = self._active
+        if not active:
+            return
+        stale = [s for s in active if s > seq]
         if stale:
+            for s in stale:
+                del active[s]
             self._vp_dirty = True
 
     def clear(self):

@@ -130,6 +130,11 @@ class STTIssueScheme(SchemeBase):
         self._broadcast_vp = self._prev_vp
         self._prev_vp = self.core.vp_now
 
+    def ff_quiescent(self):
+        """Same broadcast-lag quiescence condition as STT-Rename."""
+        vp = self.core.vp_now
+        return self._broadcast_vp == vp and self._prev_vp == vp
+
     def on_flush_all(self):
         self._taint_unit = [None] * self.core.config.num_phys_regs
 

@@ -142,6 +142,13 @@ class STTRenameScheme(SchemeBase):
         self._broadcast_vp = self._prev_vp
         self._prev_vp = self.core.vp_now
 
+    def ff_quiescent(self):
+        """Fast-forward is legal once the one-cycle broadcast lag has
+        fully caught up with the (stable) visibility point; until then
+        each stepped cycle still changes the ready-masking state."""
+        vp = self.core.vp_now
+        return self._broadcast_vp == vp and self._prev_vp == vp
+
     def extra_stats(self):
         return {
             "taints_applied": self.taints_applied,

@@ -1,0 +1,171 @@
+"""Simulator-throughput benchmarking and profiling.
+
+Not a paper artefact: this measures the *model itself* — simulated
+cycles per wall-clock second and committed kilo-instructions per second
+(KIPS) — so kernel performance regressions show up in the BENCH
+trajectory instead of silently inflating every campaign.
+
+One canonical workload suite (:func:`throughput_suite`) is shared by
+
+* ``python -m repro bench`` — runs the suite, prints a JSON report;
+* ``benchmarks/bench_simulator_throughput.py`` — the pytest-benchmark
+  wrapper timing the same workloads;
+* ``python -m repro profile`` — a cProfile wrapper over one grid cell
+  for targeted optimisation work.
+
+The suite deliberately spans the kernel's performance regimes:
+
+* ``streaming-warm`` — high-IPC, issue/rename-bound (warm caches);
+* ``chase-cold``     — serial DRAM misses, idle-cycle fast-forward's
+  best case (the event-heap jumps whole miss latencies at once);
+* ``forwarding-cold`` — dense store-to-load traffic: forwarding,
+  partial store issue, ordering-violation flushes;
+* ``mixed``          — generated SPEC-proxy-style blend of branches,
+  ALU chains, mul/div, and memory traffic.
+"""
+
+import cProfile
+import io
+import json
+import pstats
+import time
+
+from repro.core.factory import make_scheme
+from repro.pipeline.config import MEGA, boom_config
+from repro.pipeline.core import OoOCore
+from repro.workloads.generator import WorkloadProfile, generate_program
+from repro.workloads.kernels import (
+    chase_kernel,
+    forwarding_kernel,
+    streaming_kernel,
+)
+
+
+#: Labels of the canonical throughput workloads, in suite order —
+#: usable at pytest collection time without building any program.
+THROUGHPUT_LABELS = ("streaming-warm", "chase-cold", "forwarding-cold",
+                     "mixed")
+
+
+def throughput_suite(scale=1.0):
+    """The canonical throughput workloads: ``[(label, program, warm)]``.
+
+    Labels match :data:`THROUGHPUT_LABELS`.  ``scale`` multiplies
+    iteration counts (smoke runs vs. tighter measurements), mirroring
+    the campaign engine's ``--scale``.
+    """
+    its = lambda n: max(2, int(round(n * scale)))  # noqa: E731
+    return [
+        ("streaming-warm",
+         streaming_kernel(iterations=its(300), array_words=1024), True),
+        ("chase-cold",
+         chase_kernel(iterations=its(300), ring_words=4096), False),
+        ("forwarding-cold",
+         forwarding_kernel(iterations=its(200), slots=8, array_words=1024),
+         False),
+        ("mixed",
+         generate_program(
+             WorkloadProfile(name="mixed", iterations=its(30),
+                             body_templates=8, body_blocks=3,
+                             working_set_words=2048, ring_words=64,
+                             scratch_words=32),
+             seed=7,
+         ), False),
+    ]
+
+
+def _run_once(program, config, scheme_name, warm):
+    core = OoOCore(program, config=config, scheme=make_scheme(scheme_name),
+                   warm_caches=warm)
+    start = time.perf_counter()
+    result = core.run()
+    wall = time.perf_counter() - start
+    return core, result, wall
+
+
+def run_throughput_bench(config=MEGA, scheme_name="baseline", scale=1.0,
+                         repeats=3):
+    """Measure the throughput suite; returns a JSON-ready report dict.
+
+    Each workload is simulated ``repeats`` times and the fastest run is
+    reported (standard best-of-N to shed scheduler noise).  The
+    ``aggregate`` entry is the headline number: total simulated cycles
+    of the suite divided by total (best) wall time.
+    """
+    workloads = []
+    total_cycles = 0
+    total_instructions = 0
+    total_wall = 0.0
+    for label, program, warm in throughput_suite(scale=scale):
+        best_wall = None
+        for _ in range(max(1, repeats)):
+            core, result, wall = _run_once(program, config, scheme_name, warm)
+            if best_wall is None or wall < best_wall:
+                best_wall = wall
+        cycles = result.cycles
+        instructions = result.stats.committed_instructions
+        total_cycles += cycles
+        total_instructions += instructions
+        total_wall += best_wall
+        workloads.append({
+            "workload": label,
+            "wall_seconds": round(best_wall, 6),
+            "cycles": cycles,
+            "instructions": instructions,
+            "ipc": round(result.ipc, 4),
+            "cycles_per_second": round(cycles / best_wall, 1),
+            "committed_kips": round(instructions / best_wall / 1000.0, 3),
+            "fast_forwarded_cycles": core.ff_skipped_cycles,
+        })
+    return {
+        "benchmark": "simulator_throughput",
+        "config": config.name,
+        "scheme": scheme_name,
+        "scale": scale,
+        "repeats": repeats,
+        "workloads": workloads,
+        "aggregate": {
+            "wall_seconds": round(total_wall, 6),
+            "cycles": total_cycles,
+            "instructions": total_instructions,
+            "cycles_per_second": round(total_cycles / total_wall, 1),
+            "committed_kips": round(total_instructions / total_wall / 1000.0,
+                                    3),
+        },
+    }
+
+
+def format_bench_report(report, indent=2):
+    """Render a bench report as JSON text (the CLI contract)."""
+    return json.dumps(report, indent=indent, sort_keys=False)
+
+
+# -- profiling -------------------------------------------------------------
+
+
+def profile_cell(benchmark="chase-cold", config_name="mega",
+                 scheme_name="baseline", scale=1.0, top=25,
+                 sort="cumulative"):
+    """cProfile one grid cell; returns (stats_text, result).
+
+    ``benchmark`` names a throughput-suite workload (see
+    :func:`throughput_suite`); the profile covers exactly one
+    :meth:`OoOCore.run`, excluding workload generation and warm-up.
+    """
+    config = boom_config(config_name)
+    if benchmark not in THROUGHPUT_LABELS:
+        raise ValueError("unknown bench workload %r (choose from %s)"
+                         % (benchmark, ", ".join(THROUGHPUT_LABELS)))
+    for label, program, warm in throughput_suite(scale=scale):
+        if label == benchmark:
+            break
+    core = OoOCore(program, config=config, scheme=make_scheme(scheme_name),
+                   warm_caches=warm)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = core.run()
+    profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats(sort).print_stats(top)
+    return buffer.getvalue(), result

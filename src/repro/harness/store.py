@@ -171,6 +171,13 @@ class ResultStore:
             raise
         if self._paths is not None:
             self._paths[key[:12]] = path
+            # The write bumped the directory mtime; the index already
+            # reflects it, so re-arm the mtime gate instead of letting
+            # every subsequent miss trigger a full re-glob.  (A file an
+            # external writer slipped in just before ours is missed
+            # until the next directory change — the cost is one
+            # redundant, deterministic re-simulation, never staleness.)
+            self._indexed_mtime = self._dir_mtime()
         return path
 
     def clear(self):

@@ -19,6 +19,7 @@ secure-speculation schemes:
 
 import enum
 from dataclasses import dataclass, field
+from functools import cached_property
 
 
 class Opcode(enum.Enum):
@@ -166,9 +167,15 @@ class Instruction:
     #: Optional label for diagnostics / trace output.
     label: str = field(default="", compare=False)
 
-    @property
+    @cached_property
     def info(self):
-        """The :class:`OpcodeInfo` classification record."""
+        """The :class:`OpcodeInfo` classification record.
+
+        Cached per instance: static instructions are re-executed every
+        loop iteration, and the enum-keyed table lookup shows up in the
+        simulator's hot paths (``cached_property`` stores straight into
+        ``__dict__``, bypassing the frozen-dataclass ``__setattr__``).
+        """
         return OPCODE_INFO[self.op]
 
     @property

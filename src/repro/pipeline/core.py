@@ -21,13 +21,61 @@ Per-cycle phase order (chosen so values flow like bypass networks):
 5. **rename/dispatch** — pull from the fetch buffer into ROB/IQ/LSQ.
 6. **fetch** — follow predicted control flow.
 7. **squash** — process the oldest misprediction detected this cycle.
+
+Scheduled work lives in a single event heap ordered by
+``(cycle, priority, insertion order)``; :meth:`next_event_cycle`
+exposes the earliest pending wake-up, which powers the idle-cycle
+fast-forward below.
+
+**Idle-cycle fast-forward.**  :meth:`run` may jump ``self.cycle``
+straight to the next wake-up instead of stepping through cycles in
+which the machine provably does nothing.  Skipping the window
+``[cycle, target)`` is legal only when every phase above is a no-op for
+every cycle in it:
+
+* *commit* — the ROB is empty or its head is incomplete; completion
+  only ever arrives via a scheduled event, so the head stays incomplete
+  until at least the next event cycle.
+* *events* — ``target`` never exceeds :meth:`next_event_cycle` (dead
+  events of killed micro-ops may bound it early; waking on one merely
+  costs an ordinary idle step).
+* *visibility* — no events, renames, or squashes occur, so the
+  visibility point cannot move (checked: the recomputed point equals
+  ``vp_now``), and the scheme's per-cycle hook must be state-free right
+  now (``scheme.ff_quiescent()``; NDA is non-quiescent while a deferred
+  broadcast is releasable, STT while its one-cycle-delayed broadcast
+  visibility point still lags).
+* *issue* — the issue queue's ready list is empty; entries only become
+  ready through event-driven wakeups.
+* *rename* — either the front end shows no rename-visible entry (any
+  buffered entry becoming visible bounds ``target``), or its oldest
+  visible entry is blocked on a full back-end resource; every such
+  resource (ROB, IQ, LDQ/STQ, free physical registers, checkpoints) is
+  freed only by events, so the blockage — and its stall counter — is
+  constant across the window.
+* *fetch* — the fetch side is inert
+  (:meth:`~repro.pipeline.fetch.FetchUnit.fetch_wake_cycle`): halted,
+  buffer-full (rename pops nothing in-window), or redirect-stalled
+  (the resume cycle bounds ``target``).
+
+Stall attribution is then exact, not approximate: exactly one stall
+counter would tick in each skipped cycle — ``stall_frontend_empty``
+when nothing is rename-visible, else the blocked resource's counter
+per the dispatch check order — so the skip bulk-adds
+``target - cycle`` to that one counter, keeping :class:`SimStats`
+bit-identical to stepping — the golden fixture in
+``tests/pipeline/test_kernel_equivalence.py`` pins this.  ``target`` is
+additionally capped at the watchdog and ``max_cycles`` horizons so
+error paths fire at the same cycle they would when stepping.
 """
 
 from collections import deque
 from dataclasses import dataclass, field, replace
+from heapq import heappop, heappush
+from operator import itemgetter
 
 from repro.core.factory import make_scheme
-from repro.core.plugin import SchemeBase
+from repro.core.plugin import SchemeBase, overridden_hook
 from repro.core.shadows import C_SHADOW, D_SHADOW, ShadowTracker
 from repro.frontend.branch_predictor import BranchTargetBuffer, make_predictor
 from repro.isa.instructions import Opcode
@@ -49,6 +97,19 @@ _P_STORE_ADDR = 1
 _P_STORE_DATA = 2
 _P_COMPLETE = 3
 _P_LOAD_AGEN = 4
+
+#: Sort key for one cycle's event bucket (stable: insertion order is
+#: preserved within a priority class).
+_event_priority = itemgetter(0)
+
+# Event kinds: indices into the per-core dispatch table.
+_K_COMPLETE_ALU = 0
+_K_LOAD_AGEN = 1
+_K_LOAD_COMPLETE = 2
+_K_STORE_ADDR = 3
+_K_STORE_DATA = 4
+_K_SPEC_READY = 5
+_K_SPEC_KILL = 6
 
 
 @dataclass
@@ -128,6 +189,14 @@ class OoOCore:
         self.scheme = scheme
         self.max_cycles = max_cycles
         self.watchdog_cycles = watchdog_cycles
+        # Devirtualised scheme hooks (None = default no-op, skipped).
+        self._scheme_on_rename_uop = overridden_hook(scheme, "on_rename_uop")
+        self._scheme_on_checkpoint_create = overridden_hook(
+            scheme, "on_checkpoint_create")
+        self._scheme_on_visibility_update = overridden_hook(
+            scheme, "on_visibility_update")
+        self._scheme_on_load_complete = overridden_hook(
+            scheme, "on_load_complete")
 
         cfg = self.config
         self.stats = SimStats()
@@ -145,11 +214,20 @@ class OoOCore:
         self.rename = RenameUnit(cfg.num_phys_regs, cfg.max_branches)
         self.rob = deque()
         self.iq = IssueQueue(self)
+        # The register file doubles as the wakeup bus: readiness
+        # transitions drive the issue queue's scheduling index.
+        self.prf.listener = self.iq
         self.lsu = LoadStoreUnit(self)
         self.shadows = ShadowTracker()
         self.predictor = make_predictor(cfg.branch_predictor)
         self.btb = BranchTargetBuffer(cfg.btb_entries)
         self.fetch = FetchUnit(self, program, self.predictor, self.btb)
+        # Resolve the predictor-training entry points once instead of
+        # re-dispatching via hasattr per committed branch.
+        self._predictor_update = self.predictor.update
+        self._predictor_update_with_history = getattr(
+            self.predictor, "update_with_history", None
+        )
 
         self.cycle = 0
         self.next_seq = 0
@@ -158,11 +236,29 @@ class OoOCore:
         # (their data is unverified until those stores check aliasing).
         self.d_pending = {}
         self.halted = False
-        self._events = {}
+        # Scheduled work: per-cycle buckets of (priority, kind, uop,
+        # gen, payload) plus a min-heap of bucket cycles.  One heap push
+        # per *distinct* wake-up cycle (not per event) keeps scheduling
+        # cheap on busy cycles while next_event_cycle() stays O(1).
+        self._event_buckets = {}
+        self._event_cycles = []
+        self._event_dispatch = (
+            self._ev_complete_alu,
+            self._ev_load_agen,
+            self._ev_load_complete,
+            self._ev_store_addr,
+            self._ev_store_data,
+            self._ev_spec_ready,
+            self._ev_spec_kill,
+        )
         self._pending_squash = None
         self._div_busy_until = 0
         self._last_commit_cycle = 0
         self._instruction_limit = None
+        #: Cycles elided by idle-cycle fast-forward (diagnostic only;
+        #: deliberately not a SimStats counter so results stay
+        #: bit-identical to pure stepping).
+        self.ff_skipped_cycles = 0
 
         scheme.attach(self)
 
@@ -191,6 +287,8 @@ class OoOCore:
             if self.cycle - self._last_commit_cycle > self.watchdog_cycles:
                 raise RuntimeError(self._deadlock_report())
             self.step()
+            if not self.halted:
+                self._fast_forward()
         return self.result()
 
     def step(self):
@@ -231,125 +329,249 @@ class OoOCore:
         )
 
     # ------------------------------------------------------------------
+    # Idle-cycle fast-forward.
+    # ------------------------------------------------------------------
+
+    def _fast_forward(self):
+        """Jump over cycles in which every pipeline phase is a no-op.
+
+        See the module docstring for the full legality argument.  Runs
+        between :meth:`step` calls, so ``self.cycle`` is always at a
+        clean cycle boundary.
+        """
+        rob = self.rob
+        if rob and rob[0].completed:
+            return  # commit (or an ordering-violation flush) has work
+        if self.iq.has_ready():
+            return  # select could issue, waste a slot, or count a block
+        vp = self.shadows.visibility_point()
+        if self.vp_now != (self.next_seq if vp is None else vp):
+            return  # visibility point still moving this cycle
+        if not self.scheme.ff_quiescent():
+            return  # scheme's per-cycle hook has state to advance
+
+        cycle = self.cycle
+        fetch = self.fetch
+        # Error horizons first, so deadlocks and runaway simulations
+        # surface at exactly the cycle stepping would report.
+        target = self._last_commit_cycle + self.watchdog_cycles + 1
+        if self.max_cycles < target:
+            target = self.max_cycles
+
+        # Rename side: either the front end shows nothing (frontend
+        # stall) or its oldest entry is blocked on a full back-end
+        # resource — one that only an event-driven commit, squash, or
+        # branch resolution can free, so it stays blocked (on the same
+        # counter) for the whole window.
+        entry = fetch.peek_ready(cycle)
+        if entry is not None:
+            stall_counter = self._rename_block(entry)
+            if stall_counter is None:
+                return  # rename would dispatch this cycle
+        else:
+            stall_counter = "stall_frontend_empty"
+            if fetch.queue:
+                # peek_ready returned None, so this lies in the future.
+                visible_at = (fetch.queue[0].fetch_cycle
+                              + self.config.frontend_depth)
+                if visible_at < target:
+                    target = visible_at
+
+        # Fetch side must be inert for the whole window: halted or
+        # buffer-full (no wake without rename pops, which cannot happen
+        # in-window), or redirect-stalled (bounds the window).
+        fetch_wake = fetch.fetch_wake_cycle(cycle)
+        if fetch_wake is not None:
+            if fetch_wake <= cycle:
+                return  # fetch would fetch this cycle
+            if fetch_wake < target:
+                target = fetch_wake
+
+        next_event = self.next_event_cycle()
+        if next_event is not None:
+            if next_event <= cycle:
+                return  # an event is due this very cycle
+            if next_event < target:
+                target = next_event
+        if target <= cycle:
+            return
+
+        skipped = target - cycle
+        # The only per-cycle side effect of the skipped window: rename
+        # charged one stall (renamed == 0) to the same cause each cycle.
+        stats = self.stats
+        setattr(stats, stall_counter,
+                getattr(stats, stall_counter) + skipped)
+        self.cycle = target
+        stats.cycles = target
+        self.ff_skipped_cycles += skipped
+
+    def _rename_block(self, entry):
+        """Stall counter blocking ``entry`` from dispatching this cycle,
+        or ``None`` if it would dispatch.
+
+        The single source of truth for the rename stall gates:
+        :meth:`_rename_dispatch` charges whatever this returns, and the
+        idle-cycle fast-forward relies on the same verdict — every
+        named resource is freed only by events (commit, squash, branch
+        resolution), so a blocked verdict holds, on the same counter,
+        for a whole event-free window.
+        """
+        cfg = self.config
+        instr = entry.instr
+        info = instr.info
+        if len(self.rob) >= cfg.rob_entries:
+            return "stall_rob_full"
+        if len(self.iq.entries) >= cfg.iq_entries:
+            return "stall_iq_full"
+        if info.is_load and self.lsu.ldq_full:
+            return "stall_ldq_full"
+        if info.is_store and self.lsu.stq_full:
+            return "stall_stq_full"
+        if info.writes_rd and instr.rd != 0 and not self.rename.free_list:
+            return "stall_no_phys_regs"
+        if (info.is_branch or instr.op is Opcode.JALR) and (
+            self.rename.free_checkpoints() == 0
+        ):
+            return "stall_no_checkpoint"
+        return None
+
+    # ------------------------------------------------------------------
     # Commit.
     # ------------------------------------------------------------------
 
     def _commit(self):
+        rob = self.rob
+        if not rob or not rob[0].completed:
+            return
         committed = 0
-        while self.rob and committed < self.config.width:
-            head = self.rob[0]
+        width = self.config.width
+        stats = self.stats
+        cycle = self.cycle
+        while rob and committed < width:
+            head = rob[0]
             if not head.completed:
                 break
             if head.order_violation:
                 self._flush_all(head)
                 return
-            self.rob.popleft()
+            rob.popleft()
             head.committed = True
-            head.commit_cycle = self.cycle
-            self._last_commit_cycle = self.cycle
+            head.commit_cycle = cycle
+            self._last_commit_cycle = cycle
             committed += 1
-            self.stats.committed_instructions += 1
+            stats.committed_instructions += 1
 
-            instr = head.instr
-            if instr.is_store:
+            if head.op_is_store:
                 self.memory[head.address] = head.mem_value
                 self.hierarchy.access(
                     head.address, pc=head.pc, is_write=True, train_prefetcher=False
                 )
                 self.lsu.commit_store(head)
-                self.stats.committed_stores += 1
-            elif instr.is_load:
+                stats.committed_stores += 1
+            elif head.op_is_load:
                 self.lsu.commit_load(head)
-                self.stats.committed_loads += 1
-            elif instr.is_branch:
-                self.stats.committed_branches += 1
+                stats.committed_loads += 1
+            elif head.op_is_branch:
+                stats.committed_branches += 1
                 self._train_predictor(head)
-            elif instr.op == Opcode.JALR:
-                self.btb.update(head.pc, head.actual_target)
-            elif instr.op == Opcode.HALT:
-                self.rename.commit(head)
-                self.halted = True
-                return
+            else:
+                op = head.instr.op
+                if op is Opcode.JALR:
+                    self.btb.update(head.pc, head.actual_target)
+                elif op is Opcode.HALT:
+                    self.rename.commit(head)
+                    self.halted = True
+                    return
             self.rename.commit(head)
 
             if (
                 self._instruction_limit is not None
-                and self.stats.committed_instructions >= self._instruction_limit
+                and stats.committed_instructions >= self._instruction_limit
             ):
                 self.halted = True
                 return
 
     def _train_predictor(self, uop):
-        predictor = self.predictor
-        if hasattr(predictor, "update_with_history") and uop.ghr_at_predict is not None:
-            predictor.update_with_history(uop.pc, uop.taken, uop.ghr_at_predict)
+        update_with_history = self._predictor_update_with_history
+        if update_with_history is not None and uop.ghr_at_predict is not None:
+            update_with_history(uop.pc, uop.taken, uop.ghr_at_predict)
         else:
-            predictor.update(uop.pc, uop.taken)
+            self._predictor_update(uop.pc, uop.taken)
 
     # ------------------------------------------------------------------
     # Event machinery.
     # ------------------------------------------------------------------
 
     def _schedule(self, cycle, priority, kind, uop, payload=None):
-        self._events.setdefault(cycle, []).append(
-            (priority, kind, uop, uop.gen, payload)
-        )
+        bucket = self._event_buckets.get(cycle)
+        if bucket is None:
+            self._event_buckets[cycle] = bucket = []
+            heappush(self._event_cycles, cycle)
+        bucket.append((priority, kind, uop, uop.gen, payload))
+
+    def next_event_cycle(self):
+        """Cycle of the earliest scheduled event, or ``None``.
+
+        May name a dead event (killed or superseded micro-op): callers
+        treating it as a wake-up bound merely wake to an idle cycle.
+        """
+        return self._event_cycles[0] if self._event_cycles else None
 
     def schedule_load_complete(self, uop, cycle, value):
-        self._schedule(max(cycle, self.cycle + 1), _P_COMPLETE, "load_complete",
-                       uop, value)
+        self._schedule(max(cycle, self.cycle + 1), _P_COMPLETE,
+                       _K_LOAD_COMPLETE, uop, value)
 
     def schedule_spec_wakeup(self, uop, cycle):
         """A load that missed still wakes consumers at hit latency; the
         wakeup is killed one cycle later (replay penalty)."""
-        self._schedule(cycle, _P_COMPLETE, "spec_ready", uop)
-        self._schedule(cycle + 1, _P_SPEC_KILL, "spec_kill", uop)
+        self._schedule(cycle, _P_COMPLETE, _K_SPEC_READY, uop)
+        self._schedule(cycle + 1, _P_SPEC_KILL, _K_SPEC_KILL, uop)
 
     def _process_events(self):
-        events = self._events.pop(self.cycle, None)
-        if not events:
+        cycles = self._event_cycles
+        cycle = self.cycle
+        if not cycles or cycles[0] > cycle:
             return
-        events.sort(key=lambda item: item[0])
-        for _priority, kind, uop, gen, payload in events:
+        # Snapshot this cycle's bucket before dispatching: handlers only
+        # ever schedule strictly-future work, so the bucket is complete
+        # when its cycle arrives.  (Past-cycle heap entries cannot
+        # exist; draining any would match the old model, which never
+        # revisited them.)
+        while cycles and cycles[0] <= cycle:
+            heappop(cycles)
+        batch = self._event_buckets.pop(cycle, None)
+        if not batch:
+            return
+        # Stable priority sort preserves scheduling order within one
+        # priority class, exactly like the per-cycle bucket always did.
+        batch.sort(key=_event_priority)
+        dispatch = self._event_dispatch
+        for _priority, kind, uop, gen, payload in batch:
             if uop.killed or uop.gen != gen:
                 continue
-            if kind == "complete_alu":
-                self._ev_complete_alu(uop)
-            elif kind == "load_agen":
-                self.lsu.load_agen(uop, self.cycle)
-            elif kind == "load_complete":
-                self._ev_load_complete(uop, payload)
-            elif kind == "store_addr":
-                self._ev_store_addr(uop)
-            elif kind == "store_data":
-                self._ev_store_data(uop)
-            elif kind == "spec_ready":
-                self.prf.set_spec_ready(uop.prd)
-            elif kind == "spec_kill":
-                self._ev_spec_kill(uop)
-            else:  # pragma: no cover - defensive
-                raise RuntimeError("unknown event kind %r" % kind)
+            dispatch[kind](uop, payload)
 
-    def _read_operand(self, preg):
-        return self.prf.read(preg) if preg is not None else 0
-
-    def _ev_complete_alu(self, uop):
+    def _ev_complete_alu(self, uop, _payload=None):
         instr = uop.instr
         op = instr.op
-        a = self._read_operand(uop.prs1)
-        b = self._read_operand(uop.prs2)
+        values = self.prf.values
+        prs1 = uop.prs1
+        prs2 = uop.prs2
+        a = values[prs1] if prs1 is not None else 0
+        b = values[prs2] if prs2 is not None else 0
 
-        if instr.is_branch:
+        if uop.op_is_branch:
             uop.taken = branch_taken(op, a, b)
             uop.actual_target = instr.imm if uop.taken else uop.pc + 1
             self._resolve_control(uop, uop.taken != uop.pred_taken)
-        elif op == Opcode.JALR:
+        elif op is Opcode.JALR:
             uop.actual_target = to_unsigned64(a + instr.imm)
             uop.result = uop.pc + 1
             self._resolve_control(uop, uop.actual_target != uop.pred_target)
-        elif op == Opcode.JAL:
+        elif op is Opcode.JAL:
             uop.result = uop.pc + 1
-        elif op in (Opcode.NOP, Opcode.HALT):
+        elif op is Opcode.NOP or op is Opcode.HALT:
             uop.result = 0
         else:
             uop.result = evaluate_alu(op, a, b, instr.imm)
@@ -359,6 +581,9 @@ class OoOCore:
             self.iq.confirm_spec(uop.prd)
         uop.completed = True
         uop.complete_cycle = self.cycle
+
+    def _ev_load_agen(self, uop, _payload=None):
+        self.lsu.load_agen(uop, self.cycle)
 
     def _resolve_control(self, uop, mispredicted):
         self.shadows.resolve(uop.seq)
@@ -373,8 +598,9 @@ class OoOCore:
             self.rename.release_checkpoint(uop.checkpoint_id)
             uop.checkpoint_id = None
 
-    def _ev_store_addr(self, uop):
-        base = self._read_operand(uop.prs1)
+    def _ev_store_addr(self, uop, _payload=None):
+        prs1 = uop.prs1
+        base = self.prf.values[prs1] if prs1 is not None else 0
         uop.address = to_unsigned64(base + uop.instr.imm)
         uop.addr_done = True
         self.lsu.store_addr_ready(uop, self.cycle)
@@ -382,8 +608,9 @@ class OoOCore:
             uop.completed = True
             uop.complete_cycle = self.cycle
 
-    def _ev_store_data(self, uop):
-        uop.mem_value = self._read_operand(uop.prs2)
+    def _ev_store_data(self, uop, _payload=None):
+        prs2 = uop.prs2
+        uop.mem_value = self.prf.values[prs2] if prs2 is not None else 0
         uop.data_done = True
         self.lsu.store_data_ready(uop, self.cycle)
         if uop.addr_done:
@@ -397,11 +624,15 @@ class OoOCore:
         uop.complete_cycle = self.cycle
         if uop.prd is not None:
             self.prf.write_value_only(uop.prd, value)
-            if self.scheme.on_load_complete(uop, self.cycle):
+            hook = self._scheme_on_load_complete
+            if hook is None or hook(uop, self.cycle):
                 self.prf.set_ready(uop.prd)
                 self.iq.confirm_spec(uop.prd)
 
-    def _ev_spec_kill(self, uop):
+    def _ev_spec_ready(self, uop, _payload=None):
+        self.prf.set_spec_ready(uop.prd)
+
+    def _ev_spec_kill(self, uop, _payload=None):
         self.prf.revoke_spec(uop.prd)
         replayed = self.iq.kill_spec(uop.prd)
         if replayed:
@@ -427,7 +658,9 @@ class OoOCore:
     def _update_visibility(self):
         vp = self.shadows.visibility_point()
         self.vp_now = self.next_seq if vp is None else vp
-        self.scheme.on_visibility_update(self.cycle)
+        hook = self._scheme_on_visibility_update
+        if hook is not None:
+            hook(self.cycle)
 
     # ------------------------------------------------------------------
     # Issue.
@@ -437,23 +670,38 @@ class OoOCore:
         return cycle >= self._div_busy_until
 
     def _issue(self):
-        for uop, half in self.iq.select_and_issue(self.cycle):
-            if uop.is_load:
-                self._schedule(self.cycle + 1, _P_LOAD_AGEN, "load_agen", uop)
-            elif uop.is_store:
+        issued = self.iq.select_and_issue(self.cycle)
+        if not issued:
+            return
+        cycle = self.cycle
+        buckets = self._event_buckets
+        cycles_heap = self._event_cycles
+        for uop, half in issued:
+            # Inlined _schedule (hot path: one event per issued half).
+            if uop.op_is_load:
+                when = cycle + 1
+                event = (_P_LOAD_AGEN, _K_LOAD_AGEN, uop, uop.gen, None)
+            elif uop.op_is_store:
+                when = cycle + 1
                 if half == ADDR:
-                    self._schedule(self.cycle + 1, _P_STORE_ADDR, "store_addr", uop)
+                    event = (_P_STORE_ADDR, _K_STORE_ADDR, uop, uop.gen, None)
                 else:
-                    self._schedule(self.cycle + 1, _P_STORE_DATA, "store_data", uop)
+                    event = (_P_STORE_DATA, _K_STORE_DATA, uop, uop.gen, None)
             else:
                 latency = max(1, uop.op_latency)
                 if uop.op_is_div:
-                    self._div_busy_until = self.cycle + latency
-                if uop.op_is_branch or uop.instr.op == Opcode.JALR:
+                    self._div_busy_until = cycle + latency
+                if uop.op_is_branch or uop.instr.op is Opcode.JALR:
                     # Branches resolve deeper in the pipeline: their
                     # shadow stays open through regread/execute/BRU.
                     latency += self.config.branch_resolve_extra
-                self._schedule(self.cycle + latency, _P_COMPLETE, "complete_alu", uop)
+                when = cycle + latency
+                event = (_P_COMPLETE, _K_COMPLETE_ALU, uop, uop.gen, None)
+            bucket = buckets.get(when)
+            if bucket is None:
+                buckets[when] = bucket = []
+                heappush(cycles_heap, when)
+            bucket.append(event)
 
     # ------------------------------------------------------------------
     # Rename / dispatch.
@@ -461,61 +709,68 @@ class OoOCore:
 
     def _rename_dispatch(self):
         cfg = self.config
+        cycle = self.cycle
+        stats = self.stats
+        queue = self.fetch.queue
+        rob = self.rob
+        iq = self.iq
+        lsu = self.lsu
+        rename = self.rename
+        rename_block = self._rename_block
+        on_rename_uop = self._scheme_on_rename_uop
+        on_checkpoint_create = self._scheme_on_checkpoint_create
+        width = cfg.width
+        depth = cfg.frontend_depth
         renamed = 0
-        while renamed < cfg.width:
-            entry = self.fetch.peek_ready(self.cycle)
-            if entry is None:
+        while renamed < width:
+            # Inlined FetchUnit.peek_ready (hot path).
+            if not queue or queue[0].fetch_cycle + depth > cycle:
                 if renamed == 0:
-                    self.stats.stall_frontend_empty += 1
+                    stats.stall_frontend_empty += 1
+                break
+            entry = queue[0]
+            # One shared implementation of the stall gates (also used by
+            # the idle-cycle fast-forward), so the two can never drift.
+            stall = rename_block(entry)
+            if stall is not None:
+                setattr(stats, stall, getattr(stats, stall) + 1)
                 break
             instr = entry.instr
-            if len(self.rob) >= cfg.rob_entries:
-                self.stats.stall_rob_full += 1
-                break
-            if self.iq.is_full:
-                self.stats.stall_iq_full += 1
-                break
-            if instr.is_load and self.lsu.ldq_full:
-                self.stats.stall_ldq_full += 1
-                break
-            if instr.is_store and self.lsu.stq_full:
-                self.stats.stall_stq_full += 1
-                break
-            needs_dest = instr.writes_rd and instr.rd != 0
-            if needs_dest and self.rename.free_regs() == 0:
-                self.stats.stall_no_phys_regs += 1
-                break
-            casts_c_shadow = instr.is_branch or instr.op == Opcode.JALR
-            if casts_c_shadow and self.rename.free_checkpoints() == 0:
-                self.stats.stall_no_checkpoint += 1
-                break
+            info = instr.info
+            needs_dest = info.writes_rd and instr.rd != 0
+            casts_c_shadow = info.is_branch or instr.op is Opcode.JALR
 
-            self.fetch.pop()
+            queue.popleft()
             uop = MicroOp(self.next_seq, entry.pc, instr, entry.fetch_cycle)
             self.next_seq += 1
-            uop.rename_cycle = self.cycle
+            uop.rename_cycle = cycle
             uop.pred_taken = entry.pred_taken
             uop.pred_target = entry.pred_target
             uop.ghr_at_predict = entry.ghr_before
 
-            self.rename.rename_sources(uop)
-            if self.rename.rename_dest(uop) is not None:
+            rename.rename_sources(uop)
+            # needs_dest is exactly rename_dest's writes_reg guard, so
+            # non-writers skip the call (and writers its property chain).
+            if needs_dest:
+                rename.rename_dest(uop)
                 self.prf.mark_alloc(uop.prd)
 
-            self.rob.append(uop)
+            rob.append(uop)
             uop.in_rob = True
-            self.iq.add(uop)
+            iq.add(uop)
 
             if casts_c_shadow:
-                checkpoint = self.rename.create_checkpoint(uop, entry.ghr_before)
+                checkpoint = rename.create_checkpoint(uop, entry.ghr_before)
                 self.shadows.cast(uop.seq, C_SHADOW)
-                self.scheme.on_checkpoint_create(uop, checkpoint)
-            if instr.is_store:
-                self.lsu.add_store(uop)
-            elif instr.is_load:
-                self.lsu.add_load(uop)
+                if on_checkpoint_create is not None:
+                    on_checkpoint_create(uop, checkpoint)
+            if info.is_store:
+                lsu.add_store(uop)
+            elif info.is_load:
+                lsu.add_load(uop)
 
-            self.scheme.on_rename_uop(uop)
+            if on_rename_uop is not None:
+                on_rename_uop(uop)
             renamed += 1
 
     # ------------------------------------------------------------------
@@ -533,10 +788,15 @@ class OoOCore:
             self.stats.jalr_mispredicts += 1
 
         seq = uop.seq
-        squashed = [u for u in self.rob if u.seq > seq]
-        for victim in squashed:
+        # The ROB is age-ordered: peel the squashed suffix off the back
+        # in one pass instead of partitioning the whole deque twice.
+        rob = self.rob
+        squashed = []
+        while rob and rob[-1].seq > seq:
+            victim = rob.pop()
             victim.kill()
-        self.rob = deque(u for u in self.rob if u.seq <= seq)
+            squashed.append(victim)
+        squashed.reverse()  # oldest-first, as recovery consumers expect
         self.iq.squash_younger(seq)
         self.lsu.squash_younger(seq)
         self.shadows.squash_younger(seq)

@@ -5,9 +5,15 @@ control flow (a taken control instruction ends the fetch group).
 Fetched entries become visible to rename ``frontend_depth`` cycles
 later, modelling the fetch/decode pipeline depth; mispredict redirects
 additionally pay ``redirect_penalty`` cycles before fetch resumes.
+
+:meth:`FetchUnit.fetch_wake_cycle` exposes the fetch side's next
+activity cycle to the core's idle-cycle fast-forward: cycles strictly
+before it are guaranteed fetch no-ops.
 """
 
 from collections import deque
+
+from repro.isa.instructions import Opcode
 
 
 class FetchEntry:
@@ -51,52 +57,57 @@ class FetchUnit:
         if self.halted or cycle < self.stalled_until:
             return
         budget = self.config.width
-        program_len = len(self.program)
-        while budget > 0 and len(self.queue) < self.config.fetch_buffer_entries:
+        program = self.program
+        program_len = len(program)
+        queue = self.queue
+        buffer_limit = self.config.fetch_buffer_entries
+        stats = self.core.stats
+        while budget > 0 and len(queue) < buffer_limit:
             if not 0 <= self.fetch_pc < program_len:
                 # Wrong-path fetch ran off the program; wait for the
                 # inevitable squash to redirect us.
                 self.halted = True
                 return
             pc = self.fetch_pc
-            instr = self.program[pc]
+            instr = program[pc]
             entry = FetchEntry(pc, instr, cycle)
-            self.core.stats.fetched_instructions += 1
+            stats.fetched_instructions += 1
             budget -= 1
 
-            if instr.op.value == "halt":
-                self.queue.append(entry)
+            op = instr.op
+            if op is Opcode.HALT:
+                queue.append(entry)
                 self.halted = True
                 return
 
-            if instr.is_branch:
+            if instr.info.is_branch:
                 entry.ghr_before = self.predictor.snapshot()
                 taken = self.predictor.predict(pc)
                 entry.pred_taken = taken
                 entry.pred_target = instr.imm if taken else pc + 1
-                self.queue.append(entry)
+                queue.append(entry)
                 self.fetch_pc = entry.pred_target
                 if taken:
                     return  # taken control ends the fetch group
                 continue
 
-            if instr.op.value == "jal":
+            if op is Opcode.JAL:
                 entry.pred_taken = True
                 entry.pred_target = instr.imm
-                self.queue.append(entry)
+                queue.append(entry)
                 self.fetch_pc = instr.imm
                 return
 
-            if instr.op.value == "jalr":
+            if op is Opcode.JALR:
                 entry.ghr_before = self.predictor.snapshot()
                 predicted = self.btb.predict(pc)
                 entry.pred_taken = True
                 entry.pred_target = predicted if predicted is not None else pc + 1
-                self.queue.append(entry)
+                queue.append(entry)
                 self.fetch_pc = entry.pred_target
                 return
 
-            self.queue.append(entry)
+            queue.append(entry)
             self.fetch_pc = pc + 1
 
     # -- rename-side interface ---------------------------------------------------
@@ -110,8 +121,21 @@ class FetchUnit:
             return None
         return entry
 
-    def pop(self):
-        return self.queue.popleft()
+    def fetch_wake_cycle(self, cycle):
+        """First cycle >= ``cycle`` at which the fetch side can fetch.
+
+        Returns ``None`` when it cannot without external help: the unit
+        is halted (ran off the program or fetched a halt), or the fetch
+        buffer is full — only a rename-side pop frees space, and during
+        an idle window rename pops nothing.  The core's idle-cycle
+        fast-forward relies on the guarantee that every cycle strictly
+        before the returned value (or every cycle at all, for ``None``)
+        is a fetch no-op: no instructions fetched, no counters touched,
+        no buffer entries added.
+        """
+        if self.halted or len(self.queue) >= self.config.fetch_buffer_entries:
+            return None
+        return cycle if cycle >= self.stalled_until else self.stalled_until
 
     # -- recovery ------------------------------------------------------------------
 

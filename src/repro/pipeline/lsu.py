@@ -14,7 +14,12 @@ This optimistic policy is what makes STT-Rename's blocked store
 address generation expensive: tainted stores keep their addresses out
 of the store queue, so younger loads cannot forward and later flush —
 the exchange2 anomaly of Section 8.1.
+
+Both queues are age-ordered deques: commits retire from the front in
+O(1), and squashes peel the killed suffix off the back.
 """
+
+from collections import deque
 
 from repro.isa.interp import to_unsigned64
 
@@ -25,8 +30,12 @@ class LoadStoreUnit:
     def __init__(self, core):
         self.core = core
         self.config = core.config
-        self.ldq = []
-        self.stq = []
+        self.ldq = deque()
+        self.stq = deque()
+        self._l1_latency = core.config.mem.l1_latency
+        #: store seq -> loads waiting to forward from it (data pending).
+        #: Entries go stale on squash/replay and are filtered at wake.
+        self._store_data_waiters = {}
 
     # -- capacity ---------------------------------------------------------
 
@@ -49,65 +58,82 @@ class LoadStoreUnit:
     def load_agen(self, uop, cycle):
         """Address generation completed: forward, wait, or access memory."""
         core = self.core
-        base = core.prf.read(uop.prs1) if uop.prs1 is not None else 0
+        prs1 = uop.prs1
+        base = core.prf.values[prs1] if prs1 is not None else 0
         address = to_unsigned64(base + uop.instr.imm)
         uop.address = address
 
-        pending = {
-            store.seq
-            for store in self.stq
-            if store.seq < uop.seq and not store.addr_done
-        }
+        seq = uop.seq
+        pending = None
+        match = None
+        for store in self.stq:
+            if store.seq >= seq:
+                break
+            if not store.addr_done:
+                if pending is None:
+                    pending = {store.seq}
+                else:
+                    pending.add(store.seq)
+            elif store.address == address:
+                match = store
         if pending:
             uop.pending_stores = pending
-            core.d_pending[uop.seq] = uop
+            core.d_pending[seq] = uop
 
-        match = self._youngest_matching_store(uop.seq, address)
         if match is not None:
             if match.data_done:
                 core.stats.store_forwards += 1
                 uop.forwarded_from = match.seq
                 core.schedule_load_complete(
-                    uop, cycle + self.config.mem.l1_latency, match.mem_value
+                    uop, cycle + self._l1_latency, match.mem_value
                 )
             else:
                 uop.waiting_on_store = match.seq
+                self._store_data_waiters.setdefault(match.seq, []).append(uop)
             return
 
         latency, _level = core.hierarchy.access(address, pc=uop.pc)
         value = core.memory.get(address, 0)
         core.schedule_load_complete(uop, cycle + latency, value)
-        hit_latency = self.config.mem.l1_latency
-        if latency > hit_latency and core.scheme.allows_spec_hit_wakeup:
+        hit_latency = self._l1_latency
+        # A load with no destination (rd == x0) has no consumers to wake
+        # speculatively — and no physical register to mark/revoke.
+        if (
+            latency > hit_latency
+            and uop.prd is not None
+            and core.scheme.allows_spec_hit_wakeup
+        ):
             core.schedule_spec_wakeup(uop, cycle + hit_latency)
-
-    def _youngest_matching_store(self, load_seq, address):
-        match = None
-        for store in self.stq:
-            if store.seq >= load_seq:
-                break
-            if store.addr_done and store.address == address:
-                match = store
-        return match
 
     # -- store execution ------------------------------------------------------
 
     def store_addr_ready(self, uop, cycle):
         """A store's address resolved: check younger loads for ordering
         violations (stale data read past this store), and clear this
-        store from their memory-dependence speculation sets."""
-        for load in self.ldq:
-            if load.pending_stores and uop.seq in load.pending_stores:
-                load.pending_stores.discard(uop.seq)
+        store from their memory-dependence speculation sets.
+
+        Only loads *younger* than the store can be affected (their
+        memory-dependence sets only name older stores), so the scan
+        walks the LDQ's young suffix instead of the whole queue.  The
+        per-load checks are independent, so the reversed order changes
+        nothing observable.
+        """
+        seq = uop.seq
+        address = uop.address
+        for load in reversed(self.ldq):
+            if load.seq <= seq:
+                break
+            if load.pending_stores and seq in load.pending_stores:
+                load.pending_stores.discard(seq)
                 if not load.pending_stores:
                     self.core.d_pending.pop(load.seq, None)
-            if load.seq <= uop.seq or load.address != uop.address:
+            if load.address != address:
                 continue
             if load.order_violation:
                 continue
-            if load.forwarded_from is not None and load.forwarded_from > uop.seq:
+            if load.forwarded_from is not None and load.forwarded_from > seq:
                 continue  # forwarded from a store younger than this one
-            if load.waiting_on_store is not None and load.waiting_on_store > uop.seq:
+            if load.waiting_on_store is not None and load.waiting_on_store > seq:
                 continue  # will forward from a younger store
             if load.address is None:
                 continue  # not yet executed: will see this store's address
@@ -115,37 +141,56 @@ class LoadStoreUnit:
             self.core.stats.stl_forward_errors += 1
 
     def store_data_ready(self, uop, cycle):
-        """A store's data arrived: wake loads waiting to forward from it."""
-        for load in self.ldq:
-            if load.waiting_on_store == uop.seq:
-                load.waiting_on_store = None
-                load.forwarded_from = uop.seq
-                self.core.stats.store_forwards += 1
-                self.core.schedule_load_complete(
-                    load, cycle + self.config.mem.l1_latency, uop.mem_value
-                )
+        """A store's data arrived: wake loads waiting to forward from it.
+
+        Waiters come from the store-indexed registry instead of an LDQ
+        scan; age-sorting the handful of waiters reproduces the LDQ
+        scan's oldest-first wake (and hence event) order exactly.
+        """
+        waiting = self._store_data_waiters.pop(uop.seq, None)
+        if not waiting:
+            return
+        waiting.sort(key=lambda load: load.seq)
+        for load in waiting:
+            if load.killed or load.waiting_on_store != uop.seq:
+                continue  # squashed or replayed since registering
+            load.waiting_on_store = None
+            load.forwarded_from = uop.seq
+            self.core.stats.store_forwards += 1
+            self.core.schedule_load_complete(
+                load, cycle + self._l1_latency, uop.mem_value
+            )
 
     # -- retirement / recovery ---------------------------------------------------
 
     def commit_load(self, uop):
         if self.ldq and self.ldq[0] is uop:
-            self.ldq.pop(0)
+            self.ldq.popleft()
         else:  # pragma: no cover - defensive; commits are in order
             self.ldq.remove(uop)
 
     def commit_store(self, uop):
         if self.stq and self.stq[0] is uop:
-            self.stq.pop(0)
+            self.stq.popleft()
         else:  # pragma: no cover - defensive; commits are in order
             self.stq.remove(uop)
 
     def squash_younger(self, seq):
-        self.ldq = [u for u in self.ldq if u.seq <= seq]
-        self.stq = [u for u in self.stq if u.seq <= seq]
+        ldq = self.ldq
+        while ldq and ldq[-1].seq > seq:
+            ldq.pop()
+        stq = self.stq
+        while stq and stq[-1].seq > seq:
+            stq.pop()
+        waiters = self._store_data_waiters
+        if waiters:
+            for store_seq in [s for s in waiters if s > seq]:
+                del waiters[store_seq]
 
     def flush(self):
-        self.ldq = []
-        self.stq = []
+        self.ldq.clear()
+        self.stq.clear()
+        self._store_data_waiters.clear()
 
     def occupancy(self):
         return len(self.ldq), len(self.stq)

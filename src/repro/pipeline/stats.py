@@ -4,6 +4,14 @@ The paper extracts key performance indicators with TraceDoctor
 (committed instructions, latencies, stalls and their causes,
 store-to-load forwarding errors); these counters are the model's
 equivalent and feed Section 9.2-style analyses directly.
+
+Counters are normally incremented cycle by cycle, but the core's
+idle-cycle fast-forward (see :mod:`repro.pipeline.core`) may *bulk*
+increment a stall counter — adding ``skipped`` at once for a window it
+proved would have charged that same counter once per cycle.  Totals
+are therefore bit-identical to pure stepping (asserted by the golden
+fixture in ``tests/pipeline/test_kernel_equivalence.py``); no counter
+ever records that a window was fast-forwarded, by design.
 """
 
 from dataclasses import dataclass, field

@@ -61,6 +61,9 @@ class MicroOp:
         # Speculative-wakeup bookkeeping.
         "spec_deps",
         "waiting_on_store",
+        # Scheduler state (see repro.pipeline.issue_queue: IQ_NONE /
+        # IQ_WAITING / IQ_READY / IQ_ISSUED).
+        "iq_status",
         # Older stores with unknown addresses this load executed past
         # (memory-dependence speculation; emptied as they resolve).
         "pending_stores",
@@ -123,6 +126,7 @@ class MicroOp:
         self.stt_nop_issued = False
         self.spec_deps = None
         self.waiting_on_store = None
+        self.iq_status = 0
         self.pending_stores = None
         self.fetch_cycle = fetch_cycle
         self.rename_cycle = None

@@ -195,8 +195,12 @@ def test_run_cells_serial_fallback():
 
 def test_run_cells_propagates_worker_errors():
     bad = ("no.such.benchmark", SMALL, "baseline", (), 0.05, 2017)
+    good = (BENCH, SMALL, "baseline", (), 0.05, 2017)
+    # Two specs keep jobs=2 after the min(jobs, len(specs)) clamp, so
+    # this genuinely exercises the pool path (exception pickled out of
+    # a worker and re-raised by pool.map), not the serial fallback.
     with pytest.raises(KeyError):
-        run_cells([bad], jobs=2)
+        run_cells([good, bad], jobs=2)
     with pytest.raises(KeyError):
         run_cells([bad], jobs=1)
 

@@ -91,3 +91,21 @@ def test_nda_defers_broadcasts_under_shadows():
                   warm_caches=True).run()
     assert nda.stats.deferred_broadcasts > 0
     assert_matches_reference(program, nda, "nda")
+
+
+def test_load_to_zero_register_survives_l1_miss():
+    """A destination-less load (rd == x0) that misses the L1 must not
+    broadcast a speculative wakeup — it has no physical register to
+    mark, revoke, or replay consumers of (regression: the spec-ready
+    event used to index the register file with None)."""
+    program = assemble("""
+        li   sp, 4096
+        lw   zero, 0(sp)
+        lw   a0, 8(sp)
+        halt
+    """, name="rd0-load")
+    program.initial_memory[4096] = 7
+    result = OoOCore(program, config=MEGA).run()  # cold caches: both miss
+    assert result.halted
+    assert result.stats.committed_loads == 2
+    assert_matches_reference(program, result, "rd0-load")
