@@ -6,16 +6,32 @@ Subcommands:
     Print every experiment id.
 ``grid``
     Populate the (benchmark x config x scheme) grid — in parallel with
-    ``--jobs N`` — and print a cache/store/simulated summary.
+    ``--jobs N`` or on any backend with ``--executor`` — and print a
+    cache/store/simulated summary.
 ``run EXPERIMENT [EXPERIMENT ...]``
     Run named experiments (or ``all``) and print their reports.  With
-    ``--jobs > 1`` only the grid slices those experiments actually read
-    are pre-populated in parallel first, so the experiments themselves
-    are served from cache.
+    ``--jobs > 1`` (or a non-serial ``--executor``) only the grid
+    slices those experiments actually read — declared in the
+    experiment registry itself — are pre-populated in parallel first,
+    so the experiments themselves are served from cache.
+``serve``
+    Host a campaign as a cluster coordinator: bind a TCP port, serve
+    grid cells to any number of ``work`` clients (work-stealing), and
+    stream results into the store.  Prints the ``work --connect`` line
+    to attach workers from other hosts.
+``work``
+    Join a cluster as a worker: ``--connect HOST:PORT``, pull cells,
+    simulate, report, repeat until the coordinator drains.
+``store``
+    Maintain the persistent result store: ``store verify`` drops
+    corrupt/stale cells, ``store gc`` evicts everything outside the
+    standard campaign grid for the given scale/seed.
 ``bench``
     Measure simulator throughput (simulated cycles/sec, committed KIPS)
     over the canonical workload suite; prints JSON so the BENCH
-    trajectory can track kernel regressions.
+    trajectory can track kernel regressions (``--record PATH`` also
+    writes the JSON to a file, e.g. ``BENCH_PR3.json`` at the repo
+    root).
 ``profile``
     cProfile one grid cell (default: the ``chase-cold`` throughput
     workload on mega/baseline) and print the top cumulative entries —
@@ -23,8 +39,10 @@ Subcommands:
 
 Shared flags: ``--scale`` and ``--seed`` select the workload build,
 ``--benchmarks`` restricts the suite, ``--jobs`` sets worker count,
-``--store-dir`` relocates the persistent store, and ``--no-store``
-disables it entirely (purely in-memory run).
+``--executor {serial,pool,cluster}`` picks the backend explicitly,
+``--progress`` streams done/total + cells/sec + ETA + per-worker
+attribution to stderr, ``--store-dir`` relocates the persistent store,
+and ``--no-store`` disables it entirely (purely in-memory run).
 """
 
 import argparse
@@ -36,9 +54,13 @@ from repro.harness.experiments import (
     experiment_ids,
     run_experiment,
 )
+from repro.harness.progress import make_progress
 from repro.harness.runner import CampaignRunner
 from repro.harness.store import DEFAULT_STORE_DIR, ResultStore
 from repro.pipeline.config import boom_config
+
+#: Default coordinator port (the SPEC vintage; above the privileged range).
+DEFAULT_PORT = 2017
 
 
 def build_parser():
@@ -63,18 +85,80 @@ def build_parser():
                        help="persistent store root (default %(default)s)")
         p.add_argument("--no-store", action="store_true",
                        help="skip the on-disk store (in-memory only)")
+        p.add_argument("--progress", action="store_true",
+                       help="stream progress/ETA lines to stderr")
+
+    def add_executor(p):
+        p.add_argument("--executor",
+                       choices=("auto", "serial", "pool", "cluster"),
+                       default="auto",
+                       help="execution backend (default: serial when"
+                            " --jobs 1, else pool)")
+        p.add_argument("--bind", metavar="HOST:PORT", default="127.0.0.1:0",
+                       help="cluster executor bind address"
+                            " (default %(default)s; port 0 = ephemeral)")
+        p.add_argument("--local-workers", type=int, default=1,
+                       help="cluster executor: in-process worker threads"
+                            " (default 1; remote workers attach via"
+                            " 'work --connect')")
+
+    def add_selection(p):
+        p.add_argument("--configs", nargs="+", metavar="NAME",
+                       help="BOOM config names (default: all four)")
+        p.add_argument("--schemes", nargs="+", metavar="NAME",
+                       help="scheme names (default: all four)")
 
     grid = sub.add_parser("grid", help="populate the simulation grid")
     add_common(grid)
-    grid.add_argument("--configs", nargs="+", metavar="NAME",
-                      help="BOOM config names (default: all four)")
-    grid.add_argument("--schemes", nargs="+", metavar="NAME",
-                      help="scheme names (default: all four)")
+    add_executor(grid)
+    add_selection(grid)
 
     run = sub.add_parser("run", help="run named experiments (or 'all')")
     add_common(run)
+    add_executor(run)
     run.add_argument("experiments", nargs="+", metavar="EXPERIMENT",
                      help="experiment ids, or 'all'")
+
+    serve = sub.add_parser(
+        "serve", help="host a campaign for cluster workers (coordinator)")
+    add_common(serve)
+    add_selection(serve)
+    serve.add_argument("--host", default="0.0.0.0",
+                       help="bind address (default %(default)s)")
+    serve.add_argument("--port", type=int, default=DEFAULT_PORT,
+                       help="bind port (default %(default)s; 0 = ephemeral)")
+    serve.add_argument("--local-workers", type=int, default=0,
+                       help="also run N in-process worker threads"
+                            " (default 0: wait for remote workers)")
+    serve.add_argument("--heartbeat-timeout", type=float, default=10.0,
+                       help="seconds of worker silence before its cells"
+                            " are requeued (default 10)")
+
+    work = sub.add_parser(
+        "work", help="join a cluster campaign as a worker")
+    work.add_argument("--connect", required=True, metavar="HOST:PORT",
+                      help="coordinator address")
+    work.add_argument("--name", default=None,
+                      help="worker name (default host-pid-tid)")
+    work.add_argument("--heartbeat-interval", type=float, default=2.0,
+                      help="seconds between heartbeats (default 2)")
+    work.add_argument("--max-cells", type=int, default=None,
+                      help="stop after N cells (default: until drained)")
+
+    store = sub.add_parser(
+        "store", help="maintain the persistent result store")
+    store.add_argument("action", choices=("verify", "gc"),
+                       help="verify: drop corrupt/stale cells;"
+                            " gc: evict cells outside the standard grid")
+    store.add_argument("--store-dir", default=DEFAULT_STORE_DIR,
+                       help="persistent store root (default %(default)s)")
+    store.add_argument("--scale", type=float, default=1.0,
+                       help="gc: grid scale to keep (default 1.0)")
+    store.add_argument("--seed", type=int, default=2017,
+                       help="gc: grid seed to keep (default 2017)")
+    store.add_argument("--benchmarks", nargs="+", metavar="NAME",
+                       help="gc: restrict the kept grid to these"
+                            " benchmarks")
 
     bench = sub.add_parser(
         "bench", help="measure simulator throughput (JSON report)")
@@ -86,6 +170,9 @@ def build_parser():
                        help="workload iteration multiplier (default 1.0)")
     bench.add_argument("--repeats", type=int, default=3,
                        help="best-of-N runs per workload (default 3)")
+    bench.add_argument("--record", metavar="PATH", default=None,
+                       help="also write the JSON report to PATH"
+                            " (e.g. BENCH_PR3.json at the repo root)")
 
     profile = sub.add_parser(
         "profile", help="cProfile one grid cell (top cumulative entries)")
@@ -111,13 +198,48 @@ def make_runner(args):
                           jobs=args.jobs)
 
 
+def parse_hostport(text, default_port=DEFAULT_PORT):
+    """``HOST:PORT`` / ``HOST`` / ``:PORT`` -> (host, port)."""
+    host, sep, port = text.rpartition(":")
+    if not sep:
+        return text, default_port
+    return host or "127.0.0.1", int(port)
+
+
+def _announce(address):
+    host, port = address
+    connect_host = "<this-host>" if host in ("0.0.0.0", "::") else host
+    print("cluster coordinator serving on %s:%d" % (host, port))
+    print("attach workers with: python -m repro work --connect %s:%d"
+          % (connect_host, port))
+
+
+def make_cli_executor(args):
+    """Build the Executor the flags ask for, or None for jobs-based."""
+    from repro.harness.executor import make_executor
+
+    if args.executor == "auto":
+        return None
+    if args.executor == "cluster":
+        host, port = parse_hostport(args.bind, default_port=0)
+        return make_executor("cluster", host=host, port=port,
+                             local_workers=args.local_workers,
+                             on_serving=_announce)
+    return make_executor(args.executor, jobs=args.jobs)
+
+
+def _selected_configs(args):
+    return ([boom_config(name) for name in args.configs]
+            if args.configs else None)
+
+
 def cmd_grid(args):
     runner = make_runner(args)
-    configs = ([boom_config(name) for name in args.configs]
-               if args.configs else None)
     schemes = tuple(args.schemes) if args.schemes else SCHEME_NAMES
-    summary = runner.run_grid(configs=configs, schemes=schemes,
-                              jobs=args.jobs)
+    summary = runner.run_grid(configs=_selected_configs(args),
+                              schemes=schemes, jobs=args.jobs,
+                              executor=make_cli_executor(args),
+                              progress=make_progress(args.progress))
     print("grid: %(total)d cells — %(simulated)d simulated, "
           "%(from_store)d from store, %(cached)d cached" % summary)
     return 0
@@ -159,10 +281,13 @@ def cmd_run(args):
               file=sys.stderr)
         return 2
     runner = make_runner(args)
-    if args.jobs > 1:
+    executor = make_cli_executor(args)
+    if args.jobs > 1 or executor is not None:
         cells = _needed_cells(ids, runner)
         if cells:
-            summary = runner.run_cell_batch(cells, jobs=args.jobs)
+            summary = runner.run_cell_batch(
+                cells, jobs=args.jobs, executor=executor,
+                progress=make_progress(args.progress))
             print("grid pre-populated (%(total)d cells): "
                   "%(simulated)d simulated, %(from_store)d from store, "
                   "%(cached)d cached" % summary)
@@ -173,6 +298,72 @@ def cmd_run(args):
     return 0
 
 
+def cmd_serve(args):
+    from repro.harness.cluster import ClusterExecutor
+
+    runner = make_runner(args)
+    schemes = tuple(args.schemes) if args.schemes else SCHEME_NAMES
+    executor = ClusterExecutor(
+        host=args.host, port=args.port, local_workers=args.local_workers,
+        heartbeat_timeout=args.heartbeat_timeout, on_serving=_announce,
+    )
+    summary = runner.run_grid(configs=_selected_configs(args),
+                              schemes=schemes, executor=executor,
+                              progress=make_progress(True))
+    print("campaign drained: %(total)d cells — %(simulated)d simulated, "
+          "%(from_store)d from store, %(cached)d cached" % summary)
+    stats = executor.last_stats
+    if stats and stats["workers"]:
+        attribution = ", ".join(
+            "%s:%d" % (name, count)
+            for name, count in sorted(stats["workers"].items()))
+        print("workers: %s (requeues: %d)"
+              % (attribution, stats["requeues"]))
+    return 0
+
+
+def cmd_work(args):
+    from repro.harness.cluster import ClusterWorker
+
+    host, port = parse_hostport(args.connect)
+    worker = ClusterWorker(host, port, name=args.name,
+                           heartbeat_interval=args.heartbeat_interval,
+                           max_cells=args.max_cells)
+    completed = worker.run()
+    if worker.disconnected:
+        print("worker lost its coordinator after %d cell(s): %s"
+              % (completed, worker.last_error), file=sys.stderr)
+        return 1
+    print("worker done: %d cell(s) simulated" % completed)
+    return 0
+
+
+def cmd_store(args):
+    store = ResultStore(args.store_dir)
+    if args.action == "verify":
+        summary = store.verify()
+        print("store verify (%s): %d scanned, %d kept, %d corrupt dropped,"
+              " %d stale dropped"
+              % (store.root, summary["scanned"], summary["kept"],
+                 summary["corrupt"], summary["stale"]))
+        return 0
+    runner = CampaignRunner(scale=args.scale, seed=args.seed,
+                            benchmarks=args.benchmarks)
+    from repro.pipeline.config import named_configs
+
+    keep = [
+        runner.cell_key(benchmark, config, scheme)
+        for config in named_configs()
+        for scheme in SCHEME_NAMES
+        for benchmark in runner.benchmarks
+    ]
+    summary = store.gc(keep)
+    print("store gc (%s): %d scanned, %d kept, %d dropped"
+          % (store.root, summary["scanned"], summary["kept"],
+             summary["dropped"]))
+    return 0
+
+
 def cmd_bench(args):
     from repro.harness.bench import format_bench_report, run_throughput_bench
 
@@ -180,7 +371,13 @@ def cmd_bench(args):
         config=boom_config(args.config), scheme_name=args.scheme,
         scale=args.scale, repeats=args.repeats,
     )
-    print(format_bench_report(report))
+    text = format_bench_report(report)
+    print(text)
+    if args.record:
+        with open(args.record, "w") as handle:
+            handle.write(text)
+            handle.write("\n")
+        print("recorded to %s" % args.record, file=sys.stderr)
     return 0
 
 
@@ -199,18 +396,23 @@ def cmd_profile(args):
     return 0
 
 
+_COMMANDS = {
+    "grid": cmd_grid,
+    "serve": cmd_serve,
+    "work": cmd_work,
+    "store": cmd_store,
+    "bench": cmd_bench,
+    "profile": cmd_profile,
+}
+
+
 def main(argv=None):
     args = build_parser().parse_args(argv)
     if args.command == "list":
         print("\n".join(experiment_ids()))
         return 0
-    if args.command == "grid":
-        return cmd_grid(args)
-    if args.command == "bench":
-        return cmd_bench(args)
-    if args.command == "profile":
-        return cmd_profile(args)
-    return cmd_run(args)
+    handler = _COMMANDS.get(args.command, cmd_run)
+    return handler(args)
 
 
 if __name__ == "__main__":

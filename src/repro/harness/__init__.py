@@ -1,4 +1,4 @@
-"""Campaign engine: content-addressed, disk-backed, parallel.
+"""Campaign engine: content-addressed, disk-backed, parallel, distributed.
 
 :class:`~repro.harness.runner.CampaignRunner` executes the
 (benchmark x config x scheme) simulation grid and caches results;
@@ -22,37 +22,101 @@ attached, each cell round-trips through one JSON file::
 Only the digest carries identity; the readable prefix is for humans.
 Writes are atomic (temp file + rename).
 
-**Version invalidation.**  The model version stamp
+**Version invalidation and maintenance.**  The model version stamp
 (:data:`~repro.harness.store.MODEL_VERSION`, the package version)
 participates in every hash: bumping the version changes every key, so
 results computed by an older simulator are never reused — they simply
-stop being found.  Stale files can be pruned with ``ResultStore.clear``.
+stop being found.  Eviction is no longer all-or-nothing:
+``ResultStore.verify()`` drops corrupt or version-stale cells and
+keeps the rest, ``ResultStore.gc(keep_keys)`` evicts everything
+outside a caller-supplied key set, and both are scriptable as
+``python -m repro store {verify,gc}``.
 
-**Parallel execution.**  :meth:`CampaignRunner.run_grid` shards the
-*uncached* cells of a grid across a ``multiprocessing`` pool
-(:mod:`repro.harness.parallel`) and merges results back into the cache
-and store; regenerating all paper artefacts is then bounded by the
-slowest shard, not the sum of the grid.  Pools that cannot be created
-degrade to a serial fallback.
+**Executor protocol.**  Execution is backend-agnostic behind
+:class:`~repro.harness.executor.Executor` — ``run(specs, progress,
+on_result)`` returning results in spec order.  Three backends share
+the seam: the in-process :class:`~repro.harness.executor.SerialExecutor`,
+the ``multiprocessing`` :class:`~repro.harness.executor.PoolExecutor`,
+and the socket-based
+:class:`~repro.harness.cluster.ClusterExecutor`.
+``CampaignRunner.run_grid(executor=...)`` / ``run_cell_batch`` pass
+any of them straight through; ``on_result`` streams each cell into the
+store the moment it completes, so interrupted campaigns keep their
+work.  All backends feed one
+:class:`~repro.harness.progress.ProgressReporter` (cells done/total,
+cells/sec, ETA, per-worker attribution).
+
+**Cluster protocol** (:mod:`repro.harness.cluster`, stdlib-only).  A
+TCP coordinator owns the campaign's pending cells; workers *pull*
+(work stealing), simulate via the same
+:func:`~repro.harness.parallel.simulate_cell` every backend uses, and
+report back.  The contract:
+
+- *Framing*: each frame is a 4-byte big-endian payload length plus
+  UTF-8 JSON encoding one ``{"kind": ...}`` object; frames above 64
+  MiB are rejected.  Strict request/response per connection.
+- *Message kinds*: worker sends ``hello`` (names itself, states
+  protocol version) and receives ``welcome`` (or ``reject``); then
+  loops ``steal`` -> ``cell`` (cell id + full wire spec) / ``wait``
+  (queue empty, grid live) / ``done`` (drained or failed);
+  ``result``/``error`` report a cell and are ``ack``'d; ``heartbeat``
+  keeps liveness fresh mid-simulation; ``bye`` ends cleanly.
+- *Wire specs*: the complete ``CoreConfig`` record travels with every
+  cell (``spec_to_wire``/``spec_from_wire``), so remote workers
+  simulate exactly the configuration that was hashed — never a
+  same-named approximation.
+- *Requeue semantics*: a stolen cell is in-flight against its worker;
+  if the worker's socket drops or it stays silent past the heartbeat
+  timeout, the cell returns to the *front* of the queue and the
+  campaign continues.  Determinism makes the race benign: a
+  falsely-dead worker's late result is bit-identical to the requeued
+  rerun, the first result per cell wins, duplicates are dropped.
+  Reported ``error`` frames are deterministic failures and are *not*
+  requeued — the campaign fails fast, like a pool run would.
+
+**Program cache.**  Workload generation is memoised content-addressed
+(:mod:`repro.workloads.program_cache`: profile content + seed +
+generator version), so pool and cluster workers looping over many
+cells of one benchmark generate its program once per process.
 
 **CLI.**  All of this is scriptable via ``python -m repro``::
 
-    python -m repro list                       # experiment ids
-    python -m repro grid --jobs 8              # populate the full grid
-    python -m repro run figure6 table3         # named experiments
-    python -m repro run all --jobs 8           # everything, parallel
-    python -m repro run table1 --scale 0.1 --no-store
+    python -m repro list                         # experiment ids
+    python -m repro grid --jobs 8 --progress     # local pool backend
+    python -m repro run figure6 table3           # named experiments
+    python -m repro run all --jobs 8             # everything, parallel
+    python -m repro grid --executor cluster --local-workers 4
 
-``--jobs N`` fans simulation out over N workers, ``--scale`` /
-``--seed`` select the workload build, ``--store-dir`` relocates the
-persistent store, and ``--no-store`` keeps a run purely in-memory.
+    # multi-host campaign: coordinator on one machine ...
+    python -m repro serve --port 2017 --scale 1.0
+    # ... any number of workers on any machines:
+    python -m repro work --connect coordinator-host:2017
+
+    python -m repro store verify                 # drop corrupt/stale
+    python -m repro store gc --scale 1.0         # evict off-grid cells
+    python -m repro bench --record BENCH_PR3.json
+
+``--jobs N`` fans simulation out over N workers, ``--executor``
+selects the backend explicitly, ``--progress`` streams live ETA lines,
+``--scale`` / ``--seed`` select the workload build, ``--store-dir``
+relocates the persistent store, and ``--no-store`` keeps a run purely
+in-memory.
 """
 
 from repro.harness.runner import CampaignRunner, shared_runner
 from repro.harness.store import MODEL_VERSION, ResultStore, simulation_key
+from repro.harness.executor import (
+    Executor,
+    PoolExecutor,
+    SerialExecutor,
+    make_executor,
+)
 from repro.harness.parallel import run_cells, simulate_cell
+from repro.harness.progress import ProgressReporter, make_progress
 from repro.harness.experiments import (
     EXPERIMENTS,
+    Experiment,
+    experiment_grid_needs,
     run_experiment,
     experiment_ids,
 )
@@ -63,9 +127,17 @@ __all__ = [
     "ResultStore",
     "simulation_key",
     "MODEL_VERSION",
+    "Executor",
+    "SerialExecutor",
+    "PoolExecutor",
+    "make_executor",
     "run_cells",
     "simulate_cell",
+    "ProgressReporter",
+    "make_progress",
     "EXPERIMENTS",
+    "Experiment",
+    "experiment_grid_needs",
     "run_experiment",
     "experiment_ids",
 ]

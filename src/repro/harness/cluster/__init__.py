@@ -1,0 +1,50 @@
+"""Distributed campaign execution over sockets (stdlib-only).
+
+The cluster subsystem turns the campaign engine into a multi-host
+service behind the same ``run_cells()`` seam the serial loop and the
+multiprocessing pool already share:
+
+- :mod:`~repro.harness.cluster.protocol` — length-prefixed JSON
+  frames, the steal/result/heartbeat message kinds, and the wire form
+  of cell specs (full ``CoreConfig`` travels with every cell);
+- :mod:`~repro.harness.cluster.coordinator` — the TCP service owning
+  the work-stealing queue, worker liveness (heartbeat timeout + EOF),
+  requeue of a dead worker's in-flight cells, and result collection;
+- :mod:`~repro.harness.cluster.worker` — the pull/simulate/report
+  client (``python -m repro work --connect HOST:PORT``), heartbeating
+  in the background while it simulates;
+- :mod:`~repro.harness.cluster.executor` — the
+  :class:`~repro.harness.executor.Executor` adapter
+  (``--executor cluster`` / ``python -m repro serve``).
+
+Everything is standard-library Python: one coordinator thread per
+connection, blocking sockets, JSON frames.  Determinism and
+content-addressing make the fault story simple — any cell may run
+twice (requeue races its "dead" worker's late result) and the first
+result wins, bit-identical either way.
+"""
+
+from repro.harness.cluster.coordinator import ClusterCoordinator
+from repro.harness.cluster.executor import ClusterExecutor
+from repro.harness.cluster.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    recv_frame,
+    send_frame,
+    spec_from_wire,
+    spec_to_wire,
+)
+from repro.harness.cluster.worker import ClusterWorker, run_worker
+
+__all__ = [
+    "ClusterCoordinator",
+    "ClusterExecutor",
+    "ClusterWorker",
+    "run_worker",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "send_frame",
+    "recv_frame",
+    "spec_to_wire",
+    "spec_from_wire",
+]

@@ -1,0 +1,384 @@
+"""TCP coordinator: work-stealing queue, heartbeats, requeue.
+
+:class:`ClusterCoordinator` owns one campaign's pending cells.  It
+listens on a TCP port, registers workers as they ``hello``, and serves
+``steal`` requests from a double-ended queue — workers *pull* work
+when idle, so a fast host naturally simulates more cells than a slow
+one (work stealing without any placement policy).
+
+Liveness: every frame from a worker (steals, results, heartbeats)
+refreshes its ``last_seen``.  A monitor thread declares a worker dead
+when nothing arrives within ``heartbeat_timeout`` seconds — workers
+heartbeat at a fraction of that interval even mid-simulation — and a
+socket EOF/error declares it dead immediately.  Either way the
+worker's in-flight cells are pushed back to the *front* of the queue
+(they were stolen earliest; finishing them first keeps campaign
+latency bounded), and the campaign continues without them.
+
+Determinism makes all of this safe: cells are content-addressed and
+simulation is reproducible, so a falsely-declared-dead worker's late
+``result`` is identical to the requeued rerun — the first result for
+a cell wins, duplicates are ack'd and dropped.
+
+A worker *reporting* an ``error`` frame is different from dying: the
+failure is deterministic (an unknown benchmark stays unknown on every
+retry), so the cell is not requeued; the coordinator records the
+failure, drains the campaign, and :meth:`ClusterCoordinator.results`
+raises — mirroring how a pool run propagates worker exceptions.
+"""
+
+import socket
+import threading
+
+from repro.harness.cluster.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    recv_frame,
+    send_frame,
+    spec_to_wire,
+)
+from repro.pipeline.core import SimulationResult
+
+#: Seconds a worker may stay silent before it is declared dead.
+DEFAULT_HEARTBEAT_TIMEOUT = 10.0
+
+#: Seconds an idle worker is told to wait before stealing again.
+STEAL_RETRY_SECONDS = 0.05
+
+
+class _WorkerState:
+    """Coordinator-side record of one connected worker."""
+
+    def __init__(self, name, conn):
+        self.name = name
+        self.conn = conn
+        self.last_seen = 0.0
+        self.cells = set()  # in-flight cell ids
+        self.completed = 0
+
+
+class ClusterCoordinator:
+    """Serves one batch of cell specs to pulling workers."""
+
+    def __init__(self, specs, host="127.0.0.1", port=0,
+                 heartbeat_timeout=DEFAULT_HEARTBEAT_TIMEOUT,
+                 progress=None, on_result=None):
+        import collections
+
+        self._specs = list(specs)
+        self._queue = collections.deque(range(len(self._specs)))
+        self._in_flight = {}  # cell_id -> worker name
+        self._results = {}  # cell_id -> SimulationResult
+        self._failures = {}  # cell_id -> error string
+        self._workers = {}  # name -> _WorkerState
+        self._attribution = {}  # worker name -> cells completed, ever
+        self._requeues = 0
+        self.heartbeat_timeout = heartbeat_timeout
+        self.progress = progress
+        self.on_result = on_result
+        self._lock = threading.Lock()
+        self._done = threading.Event()
+        if not self._specs:
+            self._done.set()
+        self._closed = False
+        self._listener = None
+        self._threads = []
+        self._host, self._port = host, port
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self):
+        """Bind, listen, and start the accept + liveness threads."""
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((self._host, self._port))
+        self._listener.listen(64)
+        self._listener.settimeout(0.2)
+        for target in (self._accept_loop, self._monitor_loop):
+            thread = threading.Thread(target=target, daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    @property
+    def address(self):
+        """``(host, port)`` actually bound (port resolved if 0)."""
+        return self._listener.getsockname()[:2]
+
+    def wait(self, timeout=None):
+        """Block until every cell has a result or failure; True if so."""
+        return self._done.wait(timeout)
+
+    def drain(self, timeout=2.0):
+        """Wait briefly for connected workers to see ``done`` and leave.
+
+        Purely a politeness window after the campaign completes: each
+        worker's next steal is answered ``done`` and it disconnects
+        with ``bye``; waiting for that beats cutting its socket
+        mid-exchange.  Returns True when every worker left in time.
+        """
+        import time
+
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                if not self._workers:
+                    return True
+            time.sleep(0.02)
+        return False
+
+    def close(self):
+        """Stop serving and drop every connection."""
+        self._closed = True
+        self._done.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        with self._lock:
+            workers = list(self._workers.values())
+        for state in workers:
+            self._disconnect(state.conn)
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+    # -- reading ----------------------------------------------------------
+
+    def results(self):
+        """All results in spec order; raises if any cell failed."""
+        with self._lock:
+            if self._failures:
+                first = sorted(self._failures.items())[0]
+                raise RuntimeError(
+                    "cluster campaign failed: %d cell(s) errored; first:"
+                    " cell %d: %s" % (len(self._failures), first[0], first[1])
+                )
+            if len(self._results) != len(self._specs):
+                raise RuntimeError(
+                    "cluster campaign incomplete: %d/%d cells"
+                    % (len(self._results), len(self._specs))
+                )
+            return [self._results[i] for i in range(len(self._specs))]
+
+    def stats(self):
+        """Queue/worker counters (for status lines and tests)."""
+        with self._lock:
+            return {
+                "cells": len(self._specs),
+                "completed": len(self._results),
+                "failed": len(self._failures),
+                "queued": len(self._queue),
+                "in_flight": len(self._in_flight),
+                "requeues": self._requeues,
+                # Attribution survives worker disconnects: a worker
+                # that drained and left still shows in the final tally.
+                "workers": dict(self._attribution),
+            }
+
+    # -- accept / serve ---------------------------------------------------
+
+    def _accept_loop(self):
+        while not self._closed:
+            try:
+                conn, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _serve_connection(self, conn):
+        import time
+
+        name = None
+        try:
+            while not self._closed:
+                message = recv_frame(conn)
+                if message is None:
+                    break
+                kind = message["kind"]
+                if name is not None:
+                    with self._lock:
+                        state = self._workers.get(name)
+                        if state is None:
+                            break  # declared dead; force a reconnect
+                        state.last_seen = time.monotonic()
+                if kind == "hello":
+                    name = self._register(message, conn)
+                    if name is None:
+                        send_frame(conn, {
+                            "kind": "reject",
+                            "error": "protocol version mismatch",
+                        })
+                        break
+                    send_frame(conn, {
+                        "kind": "welcome",
+                        "protocol": PROTOCOL_VERSION,
+                        "worker": name,
+                        "cells": len(self._specs),
+                    })
+                elif name is None:
+                    send_frame(conn, {"kind": "reject",
+                                      "error": "hello required first"})
+                    break
+                elif kind == "steal":
+                    send_frame(conn, self._next_cell(name))
+                elif kind == "result":
+                    self._complete(name, message["cell_id"],
+                                   message["result"])
+                    send_frame(conn, {"kind": "ack"})
+                elif kind == "error":
+                    self._fail(name, message["cell_id"],
+                               message.get("error", "unknown error"))
+                    send_frame(conn, {"kind": "ack"})
+                elif kind == "heartbeat":
+                    send_frame(conn, {"kind": "ack"})
+                elif kind == "bye":
+                    send_frame(conn, {"kind": "ack"})
+                    break
+                else:
+                    send_frame(conn, {"kind": "reject",
+                                      "error": "unknown kind %r" % kind})
+                    break
+        except (OSError, ProtocolError, KeyError):
+            pass
+        finally:
+            self._drop_worker(name)
+            self._disconnect(conn)
+
+    def _register(self, message, conn):
+        import time
+
+        if message.get("protocol") != PROTOCOL_VERSION:
+            return None
+        base = str(message.get("worker") or "worker")
+        with self._lock:
+            name = base
+            suffix = 1
+            while name in self._workers:
+                suffix += 1
+                name = "%s~%d" % (base, suffix)
+            state = _WorkerState(name, conn)
+            state.last_seen = time.monotonic()
+            self._workers[name] = state
+        return name
+
+    # -- queue management -------------------------------------------------
+
+    def _next_cell(self, name):
+        with self._lock:
+            if self._done.is_set() or self._failures:
+                return {"kind": "done"}
+            state = self._workers.get(name)
+            if state is None:
+                return {"kind": "done"}
+            if self._queue:
+                cell_id = self._queue.popleft()
+                self._in_flight[cell_id] = name
+                state.cells.add(cell_id)
+                spec = self._specs[cell_id]
+            elif self._in_flight:
+                # Queue drained but peers are still simulating; if one
+                # dies its cells reappear, so stay subscribed.
+                return {"kind": "wait", "seconds": STEAL_RETRY_SECONDS}
+            else:
+                return {"kind": "done"}
+        return {"kind": "cell", "cell_id": cell_id,
+                "spec": spec_to_wire(spec)}
+
+    def _complete(self, name, cell_id, result_data):
+        result = SimulationResult.from_dict(result_data)
+        with self._lock:
+            state = self._workers.get(name)
+            if state is not None:
+                state.cells.discard(cell_id)
+            if cell_id in self._results:
+                return  # late duplicate after a requeue; first wins
+            self._results[cell_id] = result
+            self._in_flight.pop(cell_id, None)
+            if state is not None:
+                state.completed += 1
+            self._attribution[name] = self._attribution.get(name, 0) + 1
+            finished = (len(self._results) + len(self._failures)
+                        >= len(self._specs))
+        # The done event must fire even if a callback blows up (full
+        # disk in the store-save, a buggy progress hook): the result is
+        # already recorded, and a campaign that finished must never
+        # leave its executor blocked in wait() forever.
+        try:
+            if self.on_result is not None:
+                self.on_result(cell_id, result)
+            if self.progress is not None:
+                self.progress.cell_done(worker=name)
+        finally:
+            if finished:
+                self._done.set()
+
+    def _fail(self, name, cell_id, error):
+        recorded = False
+        with self._lock:
+            state = self._workers.get(name)
+            if state is not None:
+                state.cells.discard(cell_id)
+            self._in_flight.pop(cell_id, None)
+            if (cell_id not in self._results
+                    and cell_id not in self._failures):
+                self._failures[cell_id] = str(error)
+                recorded = True
+        # Deterministic failure: retrying elsewhere cannot succeed, so
+        # fail the campaign promptly instead of draining the queue.  A
+        # late error for a cell that already completed elsewhere is a
+        # duplicate, not a failure — it must not end the campaign.
+        if recorded:
+            self._done.set()
+
+    def _drop_worker(self, name):
+        """Requeue a dead worker's in-flight cells (idempotent)."""
+        if name is None:
+            return
+        with self._lock:
+            state = self._workers.pop(name, None)
+            if state is None:
+                return
+            for cell_id in sorted(state.cells, reverse=True):
+                if cell_id in self._results or cell_id in self._failures:
+                    continue
+                if self._in_flight.get(cell_id) == name:
+                    del self._in_flight[cell_id]
+                    self._queue.appendleft(cell_id)
+                    self._requeues += 1
+        self._disconnect(state.conn)
+
+    def _monitor_loop(self):
+        import time
+
+        interval = max(0.05, min(1.0, self.heartbeat_timeout / 4.0))
+        while not self._done.wait(interval):
+            now = time.monotonic()
+            with self._lock:
+                stale = [
+                    name for name, state in self._workers.items()
+                    if now - state.last_seen > self.heartbeat_timeout
+                ]
+            for name in stale:
+                self._drop_worker(name)
+
+    @staticmethod
+    def _disconnect(conn):
+        try:
+            conn.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            conn.close()
+        except OSError:
+            pass

@@ -1,0 +1,90 @@
+"""The cluster backend behind the ``Executor`` protocol.
+
+:class:`ClusterExecutor` makes multi-host execution a drop-in
+replacement for the serial loop and the multiprocessing pool: it
+stands up a :class:`~repro.harness.cluster.coordinator.ClusterCoordinator`
+for the batch, optionally spawns in-process worker threads (useful for
+loopback tests and for soaking up local cores alongside remote hosts),
+blocks until the grid drains, and returns results in spec order.
+
+Remote capacity attaches at any time with::
+
+    python -m repro work --connect HOST:PORT
+
+Local worker threads share the Python interpreter (the GIL serialises
+them), so they are a convenience, not a scaling mechanism — real
+fan-out comes from ``work`` processes on this or other machines.
+"""
+
+import threading
+
+from repro.harness.cluster.coordinator import (
+    DEFAULT_HEARTBEAT_TIMEOUT,
+    ClusterCoordinator,
+)
+from repro.harness.cluster.worker import ClusterWorker
+from repro.harness.executor import Executor
+
+
+class ClusterExecutor(Executor):
+    """Serve a batch of cell specs to cluster workers."""
+
+    kind = "cluster"
+
+    def __init__(self, host="127.0.0.1", port=0, local_workers=0,
+                 heartbeat_timeout=DEFAULT_HEARTBEAT_TIMEOUT,
+                 on_serving=None, wait_timeout=None):
+        self.host = host
+        self.port = port
+        self.local_workers = int(local_workers)
+        self.heartbeat_timeout = heartbeat_timeout
+        #: Called with the bound ``(host, port)`` once serving — the CLI
+        #: prints the ``work --connect`` line from it.
+        self.on_serving = on_serving
+        self.wait_timeout = wait_timeout
+        self.last_stats = None
+
+    def run(self, specs, progress=None, on_result=None):
+        specs = list(specs)
+        if not specs:
+            return []
+        coordinator = ClusterCoordinator(
+            specs, host=self.host, port=self.port,
+            heartbeat_timeout=self.heartbeat_timeout,
+            progress=progress, on_result=on_result,
+        )
+        coordinator.start()
+        try:
+            host, port = coordinator.address
+            if self.on_serving is not None:
+                self.on_serving((host, port))
+            threads = []
+            for index in range(self.local_workers):
+                worker = ClusterWorker(
+                    host, port, name="local-%d" % (index + 1),
+                    heartbeat_interval=max(
+                        0.1, self.heartbeat_timeout / 4.0),
+                )
+                thread = threading.Thread(target=worker.run, daemon=True)
+                thread.start()
+                threads.append(thread)
+            finished = coordinator.wait(self.wait_timeout)
+            self.last_stats = coordinator.stats()
+            if not finished:
+                raise RuntimeError(
+                    "cluster campaign timed out after %ss: %d/%d cells"
+                    % (self.wait_timeout, self.last_stats["completed"],
+                       self.last_stats["cells"])
+                )
+            results = coordinator.results()
+            # Let workers drain cleanly (their next steal is answered
+            # "done", they reply "bye") before tearing the coordinator
+            # down, so a clean campaign never ends in mid-request
+            # connection errors — locals first, then remote stragglers.
+            for thread in threads:
+                thread.join(timeout=5.0)
+            coordinator.drain(timeout=2.0)
+            self.last_stats = coordinator.stats()
+        finally:
+            coordinator.close()
+        return results

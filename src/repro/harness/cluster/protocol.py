@@ -1,0 +1,134 @@
+"""Wire protocol of the campaign cluster (stdlib-only, versioned).
+
+**Framing.**  A frame is a 4-byte big-endian unsigned payload length
+followed by that many bytes of UTF-8 JSON encoding one object with a
+``kind`` field.  Frames larger than :data:`MAX_FRAME_BYTES` are
+rejected (a corrupt length prefix must not allocate gigabytes).
+
+**Conversation.**  Strictly request/response over one TCP connection
+per worker; the worker serialises requests (its heartbeat thread and
+steal loop share one lock), so the coordinator never interleaves
+replies.
+
+==================  =====================================  ==========
+worker sends        coordinator replies                    when
+==================  =====================================  ==========
+``hello``           ``welcome`` (cells total, protocol)    on connect
+``steal``           ``cell`` (cell_id + spec) /            worker idle
+                    ``wait`` (queue empty, grid live) /
+                    ``done`` (grid complete or failed)
+``result``          ``ack``                                cell done
+``error``           ``ack``                                cell raised
+``heartbeat``       ``ack``                                periodic
+``bye``             ``ack``                                clean exit
+==================  =====================================  ==========
+
+**Cell specs on the wire.**  :func:`spec_to_wire` expands a spec tuple
+into plain JSON — the *complete* ``CoreConfig`` parameter record
+travels with every cell (via ``CoreConfig.to_dict`` /
+:func:`~repro.pipeline.config.config_from_dict`), so a remote worker
+simulates exactly the configuration the coordinator hashed, never a
+same-named approximation.
+
+**Requeue semantics.**  The coordinator owns the queue.  A cell
+leaves the queue when stolen and is marked in-flight against that
+worker; it completes on ``result``/``error``, and is pushed back to
+the *front* of the queue if its worker dies first (socket EOF/error,
+or no frame within the heartbeat timeout).  Cells are deterministic
+and content-addressed, so a "dead" worker's late result is
+indistinguishable from the requeued rerun — the first result for a
+cell wins and duplicates are ack'd and dropped.
+"""
+
+import json
+import socket
+import struct
+
+from repro.pipeline.config import config_from_dict
+
+#: Protocol generation, exchanged in hello/welcome; mismatches refuse.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one frame's payload (a full SimulationResult for a
+#: large cell is ~100 KiB; 64 MiB is comfortably above any real frame).
+MAX_FRAME_BYTES = 64 << 20
+
+_LENGTH = struct.Struct(">I")
+
+
+class ProtocolError(Exception):
+    """A malformed, oversized, or out-of-protocol frame."""
+
+
+def send_frame(sock, message):
+    """Serialise ``message`` (a dict) and send it as one frame."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError("frame of %d bytes exceeds limit" % len(payload))
+    sock.sendall(_LENGTH.pack(len(payload)) + payload)
+
+
+def recv_frame(sock):
+    """Receive one frame; returns its dict, or ``None`` on clean EOF."""
+    header = _recv_exact(sock, _LENGTH.size)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError("frame of %d bytes exceeds limit" % length)
+    payload = _recv_exact(sock, length)
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError("undecodable frame: %s" % exc)
+    if not isinstance(message, dict) or "kind" not in message:
+        raise ProtocolError("frame is not a kind-tagged object")
+    return message
+
+
+def _recv_exact(sock, count):
+    """Read exactly ``count`` bytes; ``None`` on EOF at a frame boundary.
+
+    EOF *inside* a frame (header or payload) raises
+    :class:`ProtocolError` — callers uniformly treat that as a dead
+    peer, never as a short read to reinterpret.
+    """
+    chunks = []
+    remaining = count
+    while remaining:
+        try:
+            chunk = sock.recv(remaining)
+        except socket.timeout:
+            continue
+        if not chunk:
+            if remaining == count:
+                return None
+            raise ProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def spec_to_wire(spec):
+    """Expand a cell-spec tuple into its JSON wire form."""
+    benchmark, config, scheme_name, scheme_kwargs, scale, seed = spec
+    return {
+        "benchmark": benchmark,
+        "config": config.to_dict(),
+        "scheme": scheme_name,
+        "scheme_kwargs": dict(scheme_kwargs or {}),
+        "scale": scale,
+        "seed": seed,
+    }
+
+
+def spec_from_wire(data):
+    """Rebuild the cell-spec tuple from :func:`spec_to_wire` output."""
+    return (
+        data["benchmark"],
+        config_from_dict(data["config"]),
+        data["scheme"],
+        tuple(sorted(data.get("scheme_kwargs", {}).items())),
+        data["scale"],
+        data["seed"],
+    )

@@ -1,0 +1,177 @@
+"""Cluster worker: pull a cell, simulate it, report, repeat.
+
+:class:`ClusterWorker` is the client side of the protocol in
+:mod:`repro.harness.cluster.protocol`.  It funnels every cell through
+the same :func:`~repro.harness.parallel.simulate_cell` the serial and
+pool backends use (and therefore through the content-addressed program
+cache), so a cell simulates bit-identically wherever it runs.
+
+A background thread heartbeats while the main thread is deep inside a
+simulation, keeping the coordinator's liveness clock fresh; both
+threads share the socket under one lock, preserving the protocol's
+strict request/response pairing.
+
+``crash_after_steals`` is the built-in fault-injection hook: after
+stealing that many cells the worker abandons the connection without
+reporting — exactly what a SIGKILL'd or partitioned host looks like to
+the coordinator — which the requeue tests (and chaos-minded operators)
+use to prove in-flight cells survive worker death.
+"""
+
+import os
+import socket
+import threading
+import time
+
+from repro.harness.cluster.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    recv_frame,
+    send_frame,
+    spec_from_wire,
+)
+from repro.harness.parallel import simulate_cell
+
+#: Fraction of the coordinator's timeout at which workers heartbeat.
+DEFAULT_HEARTBEAT_INTERVAL = 2.0
+
+
+def default_worker_name():
+    """``host-pid-tid``: unique per thread, readable in progress lines."""
+    return "%s-%d-%d" % (socket.gethostname(), os.getpid(),
+                         threading.get_ident() % 10_000)
+
+
+class WorkerCrash(Exception):
+    """Raised internally to simulate an abrupt worker death."""
+
+
+class ClusterWorker:
+    """One pull/simulate/report loop against a coordinator."""
+
+    def __init__(self, host, port, name=None,
+                 heartbeat_interval=DEFAULT_HEARTBEAT_INTERVAL,
+                 crash_after_steals=None, max_cells=None,
+                 connect_timeout=10.0):
+        self.host = host
+        self.port = int(port)
+        self.name = name or default_worker_name()
+        self.heartbeat_interval = heartbeat_interval
+        self.crash_after_steals = crash_after_steals
+        self.max_cells = max_cells
+        self.connect_timeout = connect_timeout
+        self.cells_completed = 0
+        #: True when the coordinator vanished mid-campaign (as opposed
+        #: to a clean ``done``/``bye`` drain); ``last_error`` then
+        #: holds the reason (rejection text, socket error, ...).
+        self.disconnected = False
+        self.last_error = None
+        self._sock = None
+        self._io_lock = threading.Lock()
+        self._stop = threading.Event()
+
+    # -- protocol plumbing ------------------------------------------------
+
+    def _request(self, message):
+        """One locked request/response exchange."""
+        with self._io_lock:
+            send_frame(self._sock, message)
+            reply = recv_frame(self._sock)
+        if reply is None:
+            raise ConnectionError("coordinator closed the connection")
+        if reply["kind"] == "reject":
+            raise ConnectionError(
+                "coordinator rejected us: %s" % reply.get("error"))
+        return reply
+
+    def _heartbeat_loop(self):
+        while not self._stop.wait(self.heartbeat_interval):
+            try:
+                self._request({"kind": "heartbeat"})
+            except (OSError, ConnectionError):
+                return
+
+    # -- main loop --------------------------------------------------------
+
+    def run(self):
+        """Work until the coordinator says ``done``; returns cells done."""
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.connect_timeout)
+        self._sock.settimeout(None)
+        heartbeat = threading.Thread(target=self._heartbeat_loop, daemon=True)
+        try:
+            self._request({
+                "kind": "hello",
+                "worker": self.name,
+                "protocol": PROTOCOL_VERSION,
+            })
+            heartbeat.start()
+            steals = 0
+            while True:
+                reply = self._request({"kind": "steal"})
+                kind = reply["kind"]
+                if kind == "done":
+                    try:
+                        self._request({"kind": "bye"})
+                    except (OSError, ConnectionError):
+                        pass
+                    return self.cells_completed
+                if kind == "wait":
+                    time.sleep(float(reply.get("seconds", 0.05)))
+                    continue
+                # kind == "cell"
+                steals += 1
+                if (self.crash_after_steals is not None
+                        and steals >= self.crash_after_steals):
+                    raise WorkerCrash(
+                        "injected crash after %d steal(s)" % steals)
+                self._run_cell(reply)
+                if (self.max_cells is not None
+                        and self.cells_completed >= self.max_cells):
+                    try:
+                        self._request({"kind": "bye"})
+                    except (OSError, ConnectionError):
+                        pass
+                    return self.cells_completed
+        except WorkerCrash:
+            # Die like a killed process: no bye, no report, just a
+            # vanished connection for the coordinator to detect.
+            return self.cells_completed
+        except (OSError, ConnectionError, ProtocolError) as exc:
+            # The coordinator went away (drained and shut down, or
+            # crashed) or rejected us.  A worker has nothing to retry
+            # against; report what it finished instead of dying
+            # noisily, keeping the reason for the caller to surface.
+            self.disconnected = True
+            self.last_error = str(exc)
+            return self.cells_completed
+        finally:
+            self._stop.set()
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+    def _run_cell(self, reply):
+        cell_id = reply["cell_id"]
+        spec = spec_from_wire(reply["spec"])
+        try:
+            result = simulate_cell(spec)
+        except Exception as exc:  # deterministic failure: report, go on
+            self._request({
+                "kind": "error",
+                "cell_id": cell_id,
+                "error": "%s: %s" % (type(exc).__name__, exc),
+            })
+            return
+        self._request({
+            "kind": "result",
+            "cell_id": cell_id,
+            "result": result.to_dict(),
+        })
+        self.cells_completed += 1
+
+
+def run_worker(host, port, **kwargs):
+    """Convenience wrapper: build a worker, run it, return cells done."""
+    return ClusterWorker(host, port, **kwargs).run()

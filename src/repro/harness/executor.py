@@ -1,0 +1,139 @@
+"""The ``Executor`` protocol: one seam for every execution backend.
+
+A *cell spec* is the picklable, JSON-expressible tuple
+``(benchmark, config, scheme_name, scheme_kwargs, scale, seed)``
+(see :mod:`repro.harness.parallel`).  An executor turns a list of
+specs into a list of :class:`~repro.pipeline.core.SimulationResult`
+in spec order::
+
+    class Executor:
+        def run(self, specs, progress=None, on_result=None): ...
+
+- ``progress`` is an optional
+  :class:`~repro.harness.progress.ProgressReporter`; the backend calls
+  ``progress.cell_done(worker=...)`` once per completed cell with its
+  best worker attribution (``"serial"``, ``"pid-1234"``, a cluster
+  worker name).
+- ``on_result(index, result)`` is an optional streaming callback fired
+  as each cell completes (any thread, any order);
+  :meth:`CampaignRunner.run_cell_batch` uses it to persist results
+  into the :class:`~repro.harness.store.ResultStore` as they arrive,
+  so an interrupted campaign keeps everything already simulated.
+
+Three implementations exist:
+
+- :class:`SerialExecutor` — in-process loop;
+- :class:`PoolExecutor` — ``multiprocessing`` fan-out (falls back to
+  serial when a pool cannot be created);
+- :class:`~repro.harness.cluster.ClusterExecutor` — the socket-based
+  work-stealing cluster backend (multi-host).
+
+:meth:`CampaignRunner.run_grid(executor=...)
+<repro.harness.runner.CampaignRunner.run_grid>` is therefore
+backend-agnostic: the grid logic (dedup, cache, store) never knows
+which backend simulates.
+"""
+
+import multiprocessing
+
+from repro.harness.parallel import (
+    _simulate_indexed,
+    default_jobs,
+    simulate_cell,
+)
+
+
+class Executor:
+    """Base of the executor protocol (duck-typed; subclassing optional)."""
+
+    kind = "abstract"
+
+    def run(self, specs, progress=None, on_result=None):
+        """Simulate every spec; return results in spec order."""
+        raise NotImplementedError
+
+
+class SerialExecutor(Executor):
+    """In-process, one cell at a time."""
+
+    kind = "serial"
+
+    def run(self, specs, progress=None, on_result=None):
+        results = []
+        for index, spec in enumerate(specs):
+            result = simulate_cell(spec)
+            results.append(result)
+            if on_result is not None:
+                on_result(index, result)
+            if progress is not None:
+                progress.cell_done(worker="serial")
+        return results
+
+
+class PoolExecutor(Executor):
+    """``multiprocessing`` fan-out across ``jobs`` local processes.
+
+    Results stream back unordered (``imap_unordered``) so progress and
+    ``on_result`` fire as cells finish, then are reassembled into spec
+    order.  Anything that prevents pool *creation* (restricted
+    sandboxes, missing ``/dev/shm``) degrades to the serial executor;
+    once workers exist, an exception inside ``simulate_cell``
+    propagates to the caller exactly as a serial run would.
+    """
+
+    kind = "pool"
+
+    def __init__(self, jobs=None):
+        self.jobs = jobs
+
+    def run(self, specs, progress=None, on_result=None):
+        specs = list(specs)
+        if not specs:
+            return []
+        jobs = default_jobs() if self.jobs is None else int(self.jobs)
+        jobs = min(jobs, len(specs))
+        if jobs <= 1:
+            return SerialExecutor().run(specs, progress=progress,
+                                        on_result=on_result)
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:
+            ctx = multiprocessing.get_context()
+        try:
+            pool = ctx.Pool(processes=jobs)
+        except (OSError, PermissionError, RuntimeError):
+            return SerialExecutor().run(specs, progress=progress,
+                                        on_result=on_result)
+        results = [None] * len(specs)
+        with pool:
+            completions = pool.imap_unordered(
+                _simulate_indexed, list(enumerate(specs)), chunksize=1
+            )
+            for index, pid, result in completions:
+                results[index] = result
+                if on_result is not None:
+                    on_result(index, result)
+                if progress is not None:
+                    progress.cell_done(worker="pid-%d" % pid)
+        return results
+
+
+def make_executor(kind, jobs=None, **kwargs):
+    """Build an executor by name: ``serial``, ``pool``, or ``cluster``.
+
+    ``jobs`` parameterises the pool; ``kwargs`` pass through to the
+    cluster backend (``host``, ``port``, ``local_workers``, ...).  The
+    cluster module is imported lazily so purely local runs never touch
+    the socket machinery.
+    """
+    if kind == "serial":
+        return SerialExecutor()
+    if kind == "pool":
+        return PoolExecutor(jobs=jobs)
+    if kind == "cluster":
+        from repro.harness.cluster import ClusterExecutor
+
+        return ClusterExecutor(**kwargs)
+    raise ValueError(
+        "unknown executor %r (choose from serial, pool, cluster)" % (kind,)
+    )

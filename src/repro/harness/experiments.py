@@ -506,20 +506,79 @@ def experiment_ablation_l1_latency(runner, latencies=(1, 2, 4), scheme="nda"):
     )
 
 
+# ----------------------------------------------------------------------
+# Registry.
+# ----------------------------------------------------------------------
+#
+# Each entry carries the experiment callable *and* the grid slice it
+# reads through the runner cache, declared side by side so they cannot
+# drift (a drift used to silently de-parallelise ``run --jobs``: the
+# pre-population step would warm the wrong slice and the experiment
+# would fall back to serial simulation).  ``needs`` is a zero-argument
+# callable returning ``(configs, schemes, benchmarks)`` —
+# ``benchmarks=None`` meaning the runner's full selection — or ``None``
+# for experiments that bypass the cache entirely (the ablations build
+# cores directly; figure9 is analytic).
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """Registry entry: the callable plus the grid slice it consumes."""
+
+    func: callable
+    needs: callable = None
+
+
+def _all_schemes():
+    return ("baseline",) + SCHEMES
+
+
+def _needs_full_grid():
+    return named_configs(), _all_schemes(), None
+
+
+def _needs_baseline_only():
+    return named_configs(), ("baseline",), None
+
+
+def _needs_mega_all():
+    from repro.pipeline.config import MEGA
+
+    return [MEGA], _all_schemes(), None
+
+
+def _needs_table5():
+    from repro.gem5.model import GEM5_EXCLUDED
+    from repro.pipeline.config import LARGE, MEDIUM, MEGA
+    from repro.workloads.characteristics import SPEC_BENCHMARKS
+
+    comparable = tuple(b for b in SPEC_BENCHMARKS if b not in GEM5_EXCLUDED)
+    return [MEDIUM, LARGE, MEGA], _all_schemes(), comparable
+
+
+def _needs_exchange2():
+    from repro.pipeline.config import MEGA
+
+    return [MEGA], _all_schemes(), ("548.exchange2",)
+
+
 EXPERIMENTS = {
-    "table1": experiment_table1,
-    "figure6": experiment_figure6,
-    "figure7": experiment_figure7,
-    "figure8": experiment_figure8,
-    "figure9": experiment_figure9,
-    "figure10": experiment_figure10,
-    "table3": experiment_table3,
-    "figure1": experiment_table3,  # Figure 1 plots Table 3's data
-    "table4": experiment_table4,
-    "table5": experiment_table5,
-    "exchange2": experiment_exchange2,
-    "ablation-store-taints": experiment_ablation_store_taints,
-    "ablation-l1-latency": experiment_ablation_l1_latency,
+    "table1": Experiment(experiment_table1, needs=_needs_baseline_only),
+    "figure6": Experiment(experiment_figure6, needs=_needs_mega_all),
+    "figure7": Experiment(experiment_figure7, needs=_needs_full_grid),
+    "figure8": Experiment(experiment_figure8, needs=_needs_full_grid),
+    "figure9": Experiment(experiment_figure9),  # analytic, cache-free
+    "figure10": Experiment(experiment_figure10, needs=_needs_baseline_only),
+    "table3": Experiment(experiment_table3, needs=_needs_full_grid),
+    # Figure 1 plots Table 3's data (same callable, same needs).
+    "figure1": Experiment(experiment_table3, needs=_needs_full_grid),
+    "table4": Experiment(experiment_table4, needs=_needs_mega_all),
+    "table5": Experiment(experiment_table5, needs=_needs_table5),
+    "exchange2": Experiment(experiment_exchange2, needs=_needs_exchange2),
+    # The ablations build their own cores with ad-hoc configs and never
+    # consult the runner cache.
+    "ablation-store-taints": Experiment(experiment_ablation_store_taints),
+    "ablation-l1-latency": Experiment(experiment_ablation_l1_latency),
 }
 
 
@@ -528,36 +587,18 @@ def experiment_ids():
 
 
 def experiment_grid_needs(experiment_id):
-    """Grid cells an experiment reads through the runner cache.
+    """Grid cells an experiment reads, from its registry declaration.
 
     Returns ``(configs, schemes, benchmarks)`` — ``benchmarks=None``
-    meaning the runner's full selection — or ``None`` for experiments
-    that bypass the cache entirely (the ablations build cores directly;
-    figure9 is analytic).  Callers use this to pre-populate *only* the
-    slices a requested experiment will consume, instead of the whole
-    standard grid.
+    meaning the runner's full selection — or ``None`` for cache-free
+    experiments.  Callers use this to pre-populate *only* the slices a
+    requested experiment will consume, instead of the whole standard
+    grid.
     """
-    from repro.gem5.model import GEM5_EXCLUDED
-    from repro.pipeline.config import LARGE, MEDIUM, MEGA
-    from repro.workloads.characteristics import SPEC_BENCHMARKS
-
-    all_schemes = ("baseline",) + SCHEMES
-    gem5_comparable = tuple(
-        b for b in SPEC_BENCHMARKS if b not in GEM5_EXCLUDED
-    )
-    needs = {
-        "table1": (named_configs(), ("baseline",), None),
-        "figure6": ([MEGA], all_schemes, None),
-        "figure7": (named_configs(), all_schemes, None),
-        "figure8": (named_configs(), all_schemes, None),
-        "figure10": (named_configs(), ("baseline",), None),
-        "table3": (named_configs(), all_schemes, None),
-        "figure1": (named_configs(), all_schemes, None),
-        "table4": ([MEGA], all_schemes, None),
-        "table5": ([MEDIUM, LARGE, MEGA], all_schemes, gem5_comparable),
-        "exchange2": ([MEGA], all_schemes, ("548.exchange2",)),
-    }
-    return needs.get(experiment_id)
+    entry = EXPERIMENTS.get(experiment_id)
+    if entry is None or entry.needs is None:
+        return None
+    return entry.needs()
 
 
 def run_experiment(experiment_id, runner=None, **kwargs):
@@ -571,4 +612,4 @@ def run_experiment(experiment_id, runner=None, **kwargs):
         )
     if runner is None:
         runner = shared_runner()
-    return EXPERIMENTS[experiment_id](runner, **kwargs)
+    return EXPERIMENTS[experiment_id].func(runner, **kwargs)

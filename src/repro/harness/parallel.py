@@ -1,23 +1,31 @@
-"""Parallel execution of campaign grid cells.
+"""Cell simulation and the classic ``run_cells()`` seam.
 
 A *cell spec* is the picklable tuple
 ``(benchmark, config, scheme_name, scheme_kwargs, scale, seed)`` — the
-same identity that :func:`repro.harness.store.simulation_key` hashes.
-:func:`run_cells` shards a list of specs across a ``multiprocessing``
-pool and returns results in spec order; each worker regenerates its
-benchmark program locally (generation is seeded and per-benchmark
-independent, so a subset build is bit-identical to a full-suite build)
-and simulates the cell from scratch.  Anything that prevents pool
-creation (restricted sandboxes, missing ``/dev/shm``) degrades to the
-serial fallback rather than failing the campaign.
+same identity that :func:`repro.harness.store.simulation_key` hashes,
+and (in wire form, see :mod:`repro.harness.cluster.protocol`) the unit
+of work the cluster coordinator hands to remote workers.
+
+:func:`simulate_cell` executes one spec; every backend — the serial
+loop, the multiprocessing pool, and cluster workers — funnels through
+it, so a cell simulates identically wherever it lands.  Benchmark
+programs come from the content-addressed
+:mod:`~repro.workloads.program_cache`: generation is seeded and
+per-benchmark independent (a subset build is bit-identical to a
+full-suite build), and a worker looping over many cells of one
+benchmark generates its program once.
+
+:func:`run_cells` is the stable seam callers see.  Since the
+:class:`~repro.harness.executor.Executor` protocol landed it is a thin
+dispatcher: pass ``executor=`` for any backend (including the cluster),
+or just ``jobs=`` for the classic serial/pool behaviour.
 """
 
-import multiprocessing
 import os
 
 from repro.core.factory import make_scheme
 from repro.pipeline.core import OoOCore
-from repro.workloads.spec2017 import spec_suite
+from repro.workloads.program_cache import cached_spec_program
 
 
 def default_jobs():
@@ -29,11 +37,12 @@ def simulate_cell(spec):
     """Simulate one grid cell from its spec; returns a SimulationResult.
 
     Top-level (not nested) so it is picklable by multiprocessing.
+    Raises ``KeyError`` for unknown benchmark names.
     """
     benchmark, config, scheme_name, scheme_kwargs, scale, seed = spec
-    programs = dict(spec_suite(scale=scale, seed=seed, benchmarks=(benchmark,)))
+    program = cached_spec_program(benchmark, scale=scale, seed=seed)
     core = OoOCore(
-        programs[benchmark],
+        program,
         config=config,
         scheme=make_scheme(scheme_name, **dict(scheme_kwargs or {})),
         warm_caches=True,
@@ -41,31 +50,34 @@ def simulate_cell(spec):
     return core.run()
 
 
-def run_cells(specs, jobs=None):
-    """Simulate every spec, fanning out across ``jobs`` workers.
+def _simulate_indexed(indexed_spec):
+    """``(index, spec) -> (index, pid, result)`` for unordered pools.
 
-    Returns results in the same order as ``specs``.  ``jobs=None`` uses
-    :func:`default_jobs`; ``jobs<=1`` (or a single spec, or any failure
-    to stand up a pool) runs serially in-process.
+    The index lets the pool stream completions out of order and still
+    reassemble spec order; the pid provides per-worker attribution for
+    progress reporting.
     """
+    index, spec = indexed_spec
+    return index, os.getpid(), simulate_cell(spec)
+
+
+def run_cells(specs, jobs=None, progress=None, executor=None, on_result=None):
+    """Simulate every spec; returns results in spec order.
+
+    The backend-agnostic seam: with ``executor=`` any
+    :class:`~repro.harness.executor.Executor` (serial, pool, cluster)
+    does the work; otherwise ``jobs`` selects the classic local
+    behaviour — ``jobs=None`` fans out over :func:`default_jobs`
+    processes, ``jobs<=1`` (or a single spec, or any failure to stand
+    up a pool) runs serially in-process.
+    """
+    from repro.harness.executor import PoolExecutor, SerialExecutor
+
     specs = list(specs)
     if not specs:
         return []
-    jobs = default_jobs() if jobs is None else int(jobs)
-    jobs = min(jobs, len(specs))
-    if jobs <= 1:
-        return [simulate_cell(spec) for spec in specs]
-    try:
-        ctx = multiprocessing.get_context("fork")
-    except ValueError:
-        ctx = multiprocessing.get_context()
-    # Only pool *creation* falls back to serial; once workers exist, an
-    # exception raised inside simulate_cell propagates to the caller
-    # (exactly as a serial run would) instead of silently discarding
-    # the parallel work and re-running everything in-process.
-    try:
-        pool = ctx.Pool(processes=jobs)
-    except (OSError, PermissionError, RuntimeError):
-        return [simulate_cell(spec) for spec in specs]
-    with pool:
-        return pool.map(simulate_cell, specs, chunksize=1)
+    if executor is None:
+        jobs = default_jobs() if jobs is None else int(jobs)
+        jobs = min(jobs, len(specs))
+        executor = SerialExecutor() if jobs <= 1 else PoolExecutor(jobs=jobs)
+    return executor.run(specs, progress=progress, on_result=on_result)

@@ -114,14 +114,17 @@ class CampaignRunner:
     # -- grid execution ----------------------------------------------------
 
     def run_grid(self, configs=None, schemes=SCHEME_NAMES, benchmarks=None,
-                 jobs=None):
+                 jobs=None, executor=None, progress=None):
         """Populate a (benchmark x config x scheme) grid, in parallel.
 
         Cells already in the in-process cache or the persistent store
-        are skipped; the remainder is sharded across ``jobs`` workers
-        (defaulting to the runner's ``jobs``) and merged back into both
-        cache layers.  Returns a summary dict with ``total``,
-        ``cached``, ``from_store``, and ``simulated`` counts.
+        are skipped; the remainder goes to ``executor`` (any
+        :class:`~repro.harness.executor.Executor` — serial, pool, or
+        cluster) or, when none is given, is sharded across ``jobs``
+        local workers (defaulting to the runner's ``jobs``) and merged
+        back into both cache layers.  Returns a summary dict with
+        ``total``, ``cached``, ``from_store``, and ``simulated``
+        counts.
         """
         configs = list(configs or named_configs())
         benchmarks = tuple(benchmarks or self.benchmarks)
@@ -131,15 +134,20 @@ class CampaignRunner:
             for scheme in schemes
             for benchmark in benchmarks
         ]
-        return self.run_cell_batch(cells, jobs=jobs)
+        return self.run_cell_batch(cells, jobs=jobs, executor=executor,
+                                   progress=progress)
 
-    def run_cell_batch(self, cells, jobs=None):
+    def run_cell_batch(self, cells, jobs=None, executor=None, progress=None):
         """Populate arbitrary ``(benchmark, config, scheme)`` cells.
 
         The sparse counterpart of :meth:`run_grid`, for callers that
         know exactly which cells they need (e.g. the CLI pre-populating
         only the slices the requested experiments read).  Same caching,
-        store, and summary semantics.
+        store, and summary semantics; backend selection as in
+        :meth:`run_grid`.  ``progress`` (a
+        :class:`~repro.harness.progress.ProgressReporter`) is armed
+        with the count of cells actually executing and fed by the
+        backend as they complete.
         """
         jobs = self.jobs if jobs is None else jobs
         # Dedup within the batch (identical cells hash identically), so
@@ -169,11 +177,27 @@ class CampaignRunner:
 
         specs = [self._cell_spec(benchmark, config, scheme)
                  for _key, benchmark, config, scheme in pending]
-        for (key, benchmark, config, scheme), result in zip(
-                pending, run_cells(specs, jobs=jobs)):
-            self._cache[key] = result
+        if progress is not None:
+            progress.begin(len(specs))
+
+        def persist_streaming(index, result):
+            # Fired by the backend as each cell completes (possibly
+            # from a pool/coordinator thread): results reach the store
+            # while the campaign is still running, so an interruption
+            # keeps every cell already simulated.
+            key, benchmark, config, scheme = pending[index]
             self._persist(key, result, benchmark, config, scheme, {})
+
+        results = run_cells(specs, jobs=jobs, executor=executor,
+                            progress=progress,
+                            on_result=persist_streaming
+                            if self.store is not None else None)
+        for (key, _benchmark, _config, _scheme), result in zip(pending,
+                                                               results):
+            self._cache[key] = result
             summary["simulated"] += 1
+        if progress is not None:
+            progress.finish()
         return summary
 
     def full_grid(self, configs=None, schemes=SCHEME_NAMES):

@@ -188,3 +188,77 @@ class ResultStore:
             except OSError:
                 pass
         self._paths = {}
+
+    # -- eviction / integrity --------------------------------------------
+
+    def verify(self):
+        """Integrity sweep: drop corrupt or stale cells, keep the rest.
+
+        A cell is *corrupt* when its JSON cannot be parsed or its
+        ``result`` payload no longer round-trips through
+        :meth:`SimulationResult.from_dict` (truncated write survived a
+        crash, hand-edited file, schema drift); it is *stale* when its
+        ``model_version`` stamp differs from the running
+        :data:`MODEL_VERSION` (such cells are unreachable anyway —
+        their keys can never be recomputed — so they are pure dead
+        weight).  Returns ``{"scanned", "kept", "corrupt", "stale"}``.
+        """
+        summary = {"scanned": 0, "kept": 0, "corrupt": 0, "stale": 0}
+        for path in list(self._index(refresh=True).values()):
+            summary["scanned"] += 1
+            verdict = self._verify_one(path)
+            if verdict == "kept":
+                summary["kept"] += 1
+                continue
+            summary[verdict] += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        self._index(refresh=True)
+        return summary
+
+    def _verify_one(self, path):
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+            key = data["key"]
+            if not isinstance(key, str) or len(key) != 64:
+                return "corrupt"
+            SimulationResult.from_dict(data["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return "corrupt"
+        if data.get("model_version") != MODEL_VERSION:
+            return "stale"
+        return "kept"
+
+    def gc(self, keep_keys):
+        """Evict every cell whose full key is not in ``keep_keys``.
+
+        The targeted counterpart of :meth:`clear`: callers compute the
+        keys of the grid slices they still care about (e.g. the
+        standard campaign grid at the current scale/seed) and every
+        other cell — stale model versions, abandoned scales, ad-hoc
+        configs — is deleted.  Unreadable files are evicted too (they
+        can never be loaded).  Returns ``{"scanned", "kept",
+        "dropped"}``.
+        """
+        keep = set(keep_keys)
+        summary = {"scanned": 0, "kept": 0, "dropped": 0}
+        for path in list(self._index(refresh=True).values()):
+            summary["scanned"] += 1
+            try:
+                with open(path) as handle:
+                    key = json.load(handle).get("key")
+            except (OSError, ValueError):
+                key = None
+            if key in keep:
+                summary["kept"] += 1
+                continue
+            summary["dropped"] += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        self._index(refresh=True)
+        return summary

@@ -21,11 +21,23 @@ from repro.workloads.kernels import (
     forwarding_kernel,
     streaming_kernel,
 )
+from repro.workloads.program_cache import (
+    cache_stats,
+    cached_program,
+    cached_spec_program,
+    clear_cache,
+    program_key,
+)
 from repro.workloads.spec2017 import spec_suite
 
 __all__ = [
     "WorkloadProfile",
     "generate_program",
+    "cached_program",
+    "cached_spec_program",
+    "cache_stats",
+    "clear_cache",
+    "program_key",
     "SPEC_BENCHMARKS",
     "SPEC_PROFILES",
     "spec_profile",

@@ -29,6 +29,14 @@ from dataclasses import dataclass, field
 from repro.isa.instructions import Instruction, Opcode
 from repro.isa.program import Program
 
+#: Version stamp of the generator's *output*, hashed into
+#: content-addressed program-cache keys (see
+#: :mod:`repro.workloads.program_cache`).  Bump whenever a change to
+#: the emitters, sampling, or memory initialisation alters the
+#: generated instruction stream for an unchanged profile — profile
+#: *content* already participates in the key on its own.
+GENERATOR_VERSION = "1"
+
 # Register roles (see module docstring).
 _R_COUNT = 1
 _R_BASE = 2

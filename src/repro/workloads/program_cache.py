@@ -1,0 +1,102 @@
+"""Content-addressed cache of generated workload programs.
+
+Workload generation is deterministic but not free: every grid cell
+used to regenerate its benchmark program from scratch, so a worker
+(pool process, cluster worker, or the serial loop) simulating the same
+benchmark under sixteen config x scheme combinations paid the
+generation cost sixteen times.  This module memoises programs behind a
+content-addressed key so each distinct workload is generated at most
+once per process.
+
+The key (:func:`program_key`) is a SHA-256 over
+
+- the complete :class:`~repro.workloads.generator.WorkloadProfile`
+  parameter record (``asdict``, every weight and size — already scaled
+  to its final iteration count), so editing a profile can never reuse
+  a stale program;
+- the generation ``seed``;
+- :data:`~repro.workloads.generator.GENERATOR_VERSION`, bumped when
+  the generator's output changes for an unchanged profile.
+
+The cache is process-local: ``fork``-based pool workers inherit the
+parent's entries, cluster worker threads share one cache, and a worker
+looping over many cells of one benchmark generates it once.  Programs
+are safe to share — simulation copies the initial memory image and
+never mutates the instruction list.
+"""
+
+import hashlib
+import json
+import threading
+from dataclasses import asdict, replace
+
+from repro.workloads.characteristics import SPEC_PROFILES
+from repro.workloads.generator import GENERATOR_VERSION, generate_program
+
+_CACHE = {}
+_LOCK = threading.Lock()
+_STATS = {"hits": 0, "misses": 0}
+
+
+def program_key(profile, seed):
+    """Content hash identifying one generated program; hex digest."""
+    payload = {
+        "generator_version": GENERATOR_VERSION,
+        "profile": asdict(profile),
+        "seed": seed,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def scaled_profile(profile, scale):
+    """``profile`` with its iteration count multiplied by ``scale``.
+
+    The one canonical scaling rule (minimum two iterations, rounded),
+    shared by :func:`~repro.workloads.spec2017.spec_suite` and the
+    cache so both resolve a (profile, scale) pair to the same content.
+    """
+    iterations = max(2, int(round(profile.iterations * scale)))
+    if iterations == profile.iterations:
+        return profile
+    return replace(profile, iterations=iterations)
+
+
+def cached_program(profile, seed=2017):
+    """Generate ``profile``'s program, memoised by content."""
+    key = program_key(profile, seed)
+    with _LOCK:
+        program = _CACHE.get(key)
+        if program is not None:
+            _STATS["hits"] += 1
+            return program
+        _STATS["misses"] += 1
+    # Generation happens outside the lock; a racing thread may generate
+    # the same (deterministic, identical) program twice — harmless.
+    program = generate_program(profile, seed=seed)
+    with _LOCK:
+        return _CACHE.setdefault(key, program)
+
+
+def cached_spec_program(benchmark, scale=1.0, seed=2017):
+    """The (cached) program for one SPEC-proxy benchmark.
+
+    Raises ``KeyError`` for unknown benchmark names, exactly like the
+    uncached suite path, so callers' error handling is unchanged.
+    """
+    return cached_program(scaled_profile(SPEC_PROFILES[benchmark], scale),
+                          seed=seed)
+
+
+def cache_stats():
+    """``{"hits": N, "misses": N, "entries": N}`` for this process."""
+    with _LOCK:
+        return {"entries": len(_CACHE), **_STATS}
+
+
+def clear_cache():
+    """Empty the cache and zero the counters (tests, memory pressure)."""
+    with _LOCK:
+        _CACHE.clear()
+        _STATS["hits"] = _STATS["misses"] = 0

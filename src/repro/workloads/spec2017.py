@@ -1,7 +1,7 @@
 """Assembly of the full SPEC CPU2017 proxy suite."""
 
 from repro.workloads.characteristics import SPEC_BENCHMARKS, SPEC_PROFILES
-from repro.workloads.generator import generate_program
+from repro.workloads.program_cache import cached_program, scaled_profile
 
 
 def spec_suite(scale=1.0, seed=2017, benchmarks=None):
@@ -12,20 +12,15 @@ def spec_suite(scale=1.0, seed=2017, benchmarks=None):
     harness's defaults aim for a few thousand dynamic instructions per
     benchmark).  ``benchmarks`` optionally restricts to a subset by
     name.
+
+    Programs come from the content-addressed
+    :mod:`~repro.workloads.program_cache`, so repeated requests for the
+    same (benchmark, scale, seed) — sixteen grid cells per benchmark,
+    every worker loop — generate each program once per process.
     """
     selected = benchmarks or SPEC_BENCHMARKS
-    suite = []
-    for name in selected:
-        profile = SPEC_PROFILES[name]
-        iterations = max(2, int(round(profile.iterations * scale)))
-        scaled = profile if iterations == profile.iterations else _rescale(
-            profile, iterations
-        )
-        suite.append((name, generate_program(scaled, seed=seed)))
-    return suite
-
-
-def _rescale(profile, iterations):
-    from dataclasses import replace
-
-    return replace(profile, iterations=iterations)
+    return [
+        (name,
+         cached_program(scaled_profile(SPEC_PROFILES[name], scale), seed=seed))
+        for name in selected
+    ]

@@ -101,6 +101,47 @@ def test_store_missing_and_clear(tmp_path):
     assert store.load(key) is None
 
 
+def test_store_verify_drops_corrupt_and_stale(tmp_path):
+    import json
+
+    store = ResultStore(tmp_path)
+    runner = CampaignRunner(scale=0.05, benchmarks=(BENCH,))
+    key = runner.cell_key(BENCH, SMALL, "baseline")
+    good = store.save(key, runner.run(BENCH, SMALL, "baseline"))
+
+    corrupt = tmp_path / ("corrupt__x__y__%s.json" % ("b" * 12))
+    corrupt.write_text("{not json")
+    truncated = tmp_path / ("trunc__x__y__%s.json" % ("c" * 12))
+    truncated.write_text(json.dumps({"key": "c" * 64, "model_version":
+                                     "whatever"}))  # no result payload
+    with open(good) as handle:
+        stale_data = json.load(handle)
+    stale_data["model_version"] = "0.0.0-ancient"
+    stale_data["key"] = "d" * 64
+    stale = tmp_path / ("stale__x__y__%s.json" % ("d" * 12))
+    stale.write_text(json.dumps(stale_data))
+
+    summary = store.verify()
+    assert summary == {"scanned": 4, "kept": 1, "corrupt": 2, "stale": 1}
+    assert not corrupt.exists() and not truncated.exists()
+    assert not stale.exists()
+    assert store.load(key) is not None  # the healthy cell survived
+
+
+def test_store_gc_keeps_only_requested_keys(tmp_path):
+    store = ResultStore(tmp_path)
+    runner = CampaignRunner(scale=0.05, benchmarks=SUBSET)
+    keep_key = runner.cell_key(SUBSET[0], SMALL, "baseline")
+    drop_key = runner.cell_key(SUBSET[1], SMALL, "nda")
+    store.save(keep_key, runner.run(SUBSET[0], SMALL, "baseline"))
+    store.save(drop_key, runner.run(SUBSET[1], SMALL, "nda"))
+
+    summary = store.gc([keep_key])
+    assert summary == {"scanned": 2, "kept": 1, "dropped": 1}
+    assert store.load(keep_key) is not None
+    assert store.load(drop_key) is None
+
+
 def test_stats_from_dict_rejects_unknown():
     with pytest.raises(ValueError):
         SimStats.from_dict({"cycles": 1, "bogus_counter": 2})
@@ -234,6 +275,14 @@ def test_experiment_grid_needs():
     for experiment_id in experiment_ids():
         needs = experiment_grid_needs(experiment_id)
         assert (needs is None) == (experiment_id in cache_free), experiment_id
+    # The needs declaration lives *in* the registry entry, next to the
+    # callable it describes — no parallel table to drift.
+    from repro.harness.experiments import EXPERIMENTS
+
+    for experiment_id, entry in EXPERIMENTS.items():
+        assert callable(entry.func), experiment_id
+        assert entry.needs is None or callable(entry.needs), experiment_id
+    assert experiment_grid_needs("unknown-experiment") is None
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,89 @@
+"""CLI-level tests for ``python -m repro`` (the new subcommands)."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main, parse_hostport
+from repro.harness.runner import CampaignRunner
+from repro.harness.store import ResultStore
+from repro.pipeline.config import SMALL
+
+BENCH = "503.bwaves"
+
+
+def test_parse_hostport():
+    assert parse_hostport("example.org:9000") == ("example.org", 9000)
+    assert parse_hostport("example.org") == ("example.org", 2017)
+    assert parse_hostport(":9000") == ("127.0.0.1", 9000)
+
+
+def test_cli_grid_serial_and_store(tmp_path, capsys):
+    code = main(["grid", "--scale", "0.05", "--benchmarks", BENCH,
+                 "--configs", "small", "--schemes", "baseline",
+                 "--store-dir", str(tmp_path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "1 cells" in out and "1 simulated" in out
+    assert len(ResultStore(tmp_path)) == 1
+
+
+def test_cli_grid_cluster_executor(tmp_path, capsys):
+    code = main(["grid", "--scale", "0.05", "--benchmarks", BENCH,
+                 "--configs", "small", "--schemes", "baseline", "nda",
+                 "--executor", "cluster", "--local-workers", "2",
+                 "--store-dir", str(tmp_path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "cluster coordinator serving on" in out
+    assert "2 simulated" in out
+    assert len(ResultStore(tmp_path)) == 2
+
+
+def test_cli_store_verify_and_gc(tmp_path, capsys):
+    store = ResultStore(tmp_path)
+    runner = CampaignRunner(scale=0.05, benchmarks=(BENCH,))
+    # One healthy in-grid cell (default scale 1.0 for gc, so save one
+    # at scale 1.0 identity), one corrupt file.
+    grid_runner = CampaignRunner(scale=1.0, benchmarks=(BENCH,))
+    key = grid_runner.cell_key(BENCH, SMALL, "baseline")
+    store.save(key, runner.run(BENCH, SMALL, "baseline"))
+    (tmp_path / ("junk__x__y__%s.json" % ("e" * 12))).write_text("{broken")
+
+    assert main(["store", "verify", "--store-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "2 scanned" in out and "1 corrupt dropped" in out
+
+    assert main(["store", "gc", "--store-dir", str(tmp_path),
+                 "--benchmarks", BENCH]) == 0
+    out = capsys.readouterr().out
+    assert "1 kept, 0 dropped" in out
+
+    # gc for a different scale keeps nothing.
+    assert main(["store", "gc", "--store-dir", str(tmp_path),
+                 "--scale", "0.25", "--benchmarks", BENCH]) == 0
+    out = capsys.readouterr().out
+    assert "0 kept, 1 dropped" in out
+    assert len(ResultStore(tmp_path)) == 0
+
+
+def test_cli_bench_record(tmp_path, capsys):
+    record = tmp_path / "BENCH_TEST.json"
+    code = main(["bench", "--scale", "0.02", "--repeats", "1",
+                 "--record", str(record)])
+    assert code == 0
+    report = json.loads(record.read_text())
+    assert report["benchmark"] == "simulator_throughput"
+    assert report["aggregate"]["cycles"] > 0
+    printed = json.loads(capsys.readouterr().out)
+    assert printed["aggregate"] == report["aggregate"]
+
+
+def test_cli_run_unknown_experiment(capsys):
+    assert main(["run", "definitely-not-an-experiment"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_cli_work_refuses_bad_coordinator():
+    with pytest.raises(OSError):
+        main(["work", "--connect", "127.0.0.1:1"])  # nothing listens

@@ -1,0 +1,341 @@
+"""Cluster backend tests: protocol, loopback equivalence, fault injection.
+
+Everything runs in-process on 127.0.0.1 — a coordinator plus worker
+threads — so the full socket path (framing, stealing, heartbeats,
+requeue) is exercised without any external orchestration.
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.harness.cluster import (
+    ClusterCoordinator,
+    ClusterExecutor,
+    ClusterWorker,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    recv_frame,
+    send_frame,
+    spec_from_wire,
+    spec_to_wire,
+)
+from repro.harness.executor import (
+    PoolExecutor,
+    SerialExecutor,
+    make_executor,
+)
+from repro.harness.parallel import run_cells
+from repro.harness.progress import ProgressReporter
+from repro.harness.runner import CampaignRunner
+from repro.harness.store import ResultStore
+from repro.pipeline.config import MEDIUM, SMALL
+
+SUBSET = ("503.bwaves", "548.exchange2")
+
+
+def small_specs(schemes=("baseline", "nda"), configs=(SMALL,)):
+    return [
+        (benchmark, config, scheme, (), 0.05, 2017)
+        for config in configs
+        for scheme in schemes
+        for benchmark in SUBSET
+    ]
+
+
+def start_worker(host, port, **kwargs):
+    worker = ClusterWorker(host, port, **kwargs)
+    thread = threading.Thread(target=worker.run, daemon=True)
+    thread.start()
+    return worker, thread
+
+
+# ----------------------------------------------------------------------
+# Protocol: framing and wire specs.
+# ----------------------------------------------------------------------
+
+def test_frame_round_trip():
+    a, b = socket.socketpair()
+    try:
+        message = {"kind": "cell", "cell_id": 7, "spec": {"nested": [1, 2]}}
+        send_frame(a, message)
+        assert recv_frame(b) == message
+        a.close()
+        assert recv_frame(b) is None  # clean EOF
+    finally:
+        b.close()
+
+
+def test_frame_rejects_oversized_and_garbage():
+    a, b = socket.socketpair()
+    try:
+        # A bogus length prefix claiming 1 GiB must be rejected before
+        # any allocation of that size.
+        a.sendall((1 << 30).to_bytes(4, "big"))
+        with pytest.raises(ProtocolError):
+            recv_frame(b)
+        a2, b2 = socket.socketpair()
+        try:
+            a2.sendall(len(b"not json").to_bytes(4, "big") + b"not json")
+            with pytest.raises(ProtocolError):
+                recv_frame(b2)
+        finally:
+            a2.close()
+            b2.close()
+    finally:
+        a.close()
+        b.close()
+
+
+def test_truncated_header_is_protocol_error_not_struct_error():
+    a, b = socket.socketpair()
+    try:
+        a.sendall(b"\x00\x00")  # half a length prefix, then EOF
+        a.close()
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            recv_frame(b)
+    finally:
+        b.close()
+
+
+def test_spec_wire_round_trip():
+    spec = ("548.exchange2", MEDIUM.scaled(rob_entries=48), "stt-rename",
+            (("split_store_taints", True),), 0.25, 99)
+    rebuilt = spec_from_wire(spec_to_wire(spec))
+    assert rebuilt[0] == spec[0]
+    # The config travels by value: full fingerprint equality, not name.
+    assert rebuilt[1] == spec[1]
+    assert rebuilt[1].fingerprint() == spec[1].fingerprint()
+    assert rebuilt[2:] == spec[2:]
+
+
+# ----------------------------------------------------------------------
+# Loopback: cluster results are bit-identical to the serial backend.
+# ----------------------------------------------------------------------
+
+def test_loopback_cluster_matches_serial():
+    specs = small_specs(configs=(SMALL, MEDIUM))
+    serial = run_cells(specs, jobs=1)
+
+    executor = ClusterExecutor(local_workers=2, wait_timeout=120)
+    progress = ProgressReporter(label="test").begin(len(specs))
+    clustered = executor.run(specs, progress=progress)
+
+    assert len(clustered) == len(serial)
+    for mine, theirs in zip(serial, clustered):
+        assert mine.stats.to_dict() == theirs.stats.to_dict()
+        assert mine.regs == theirs.regs
+        assert mine.memory == theirs.memory
+    stats = executor.last_stats
+    assert stats["completed"] == len(specs)
+    assert stats["failed"] == 0
+    # Both workers participated and attribution adds up.
+    assert sum(stats["workers"].values()) == len(specs)
+    assert progress.done == len(specs)
+    assert sum(progress.per_worker.values()) == len(specs)
+
+
+def test_cluster_runner_batch_streams_into_store(tmp_path):
+    store = ResultStore(tmp_path)
+    runner = CampaignRunner(scale=0.05, benchmarks=SUBSET, store=store)
+    executor = ClusterExecutor(local_workers=2, wait_timeout=120)
+    summary = runner.run_grid(configs=(SMALL,), schemes=("baseline", "nda"),
+                              executor=executor)
+    assert summary["simulated"] == 4
+    assert len(store) == 4  # streamed via on_result, not post-hoc
+
+    # A fresh runner over the same store simulates nothing.
+    warm = CampaignRunner(scale=0.05, benchmarks=SUBSET,
+                          store=ResultStore(tmp_path))
+    again = warm.run_grid(configs=(SMALL,), schemes=("baseline", "nda"),
+                          executor=ClusterExecutor(local_workers=2,
+                                                   wait_timeout=120))
+    assert again["simulated"] == 0
+    assert again["from_store"] == 4
+
+
+# ----------------------------------------------------------------------
+# Fault injection: dead workers must not lose cells.
+# ----------------------------------------------------------------------
+
+def test_crashed_worker_cells_are_requeued():
+    specs = small_specs()
+    serial = run_cells(specs, jobs=1)
+
+    coordinator = ClusterCoordinator(specs, heartbeat_timeout=2.0)
+    coordinator.start()
+    try:
+        host, port = coordinator.address
+        # The crasher steals one cell and dies without reporting it.
+        crasher, crasher_thread = start_worker(
+            host, port, name="crasher", crash_after_steals=1)
+        crasher_thread.join(timeout=30)
+        assert not crasher_thread.is_alive()
+        assert crasher.cells_completed == 0
+
+        survivor, survivor_thread = start_worker(host, port, name="survivor")
+        assert coordinator.wait(timeout=120)
+        results = coordinator.results()
+        stats = coordinator.stats()
+        survivor_thread.join(timeout=10)
+    finally:
+        coordinator.close()
+
+    assert stats["requeues"] >= 1
+    assert stats["completed"] == len(specs)
+    assert stats["workers"] == {"survivor": len(specs)}
+    for mine, theirs in zip(serial, results):
+        assert mine.stats.to_dict() == theirs.stats.to_dict()
+
+
+def test_silent_worker_times_out_and_is_requeued():
+    specs = small_specs(schemes=("baseline",))
+    coordinator = ClusterCoordinator(specs, heartbeat_timeout=0.4)
+    coordinator.start()
+    try:
+        host, port = coordinator.address
+        # A raw client steals a cell, then goes silent: no heartbeats,
+        # no result, socket deliberately left open (a hung host, not a
+        # crashed one).
+        zombie = socket.create_connection((host, port), timeout=5)
+        send_frame(zombie, {"kind": "hello", "worker": "zombie",
+                            "protocol": PROTOCOL_VERSION})
+        assert recv_frame(zombie)["kind"] == "welcome"
+        send_frame(zombie, {"kind": "steal"})
+        assert recv_frame(zombie)["kind"] == "cell"
+
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            if coordinator.stats()["requeues"] >= 1:
+                break
+            time.sleep(0.05)
+        assert coordinator.stats()["requeues"] >= 1
+
+        _worker, thread = start_worker(host, port, name="rescuer")
+        assert coordinator.wait(timeout=120)
+        assert coordinator.stats()["completed"] == len(specs)
+        thread.join(timeout=10)
+        zombie.close()
+    finally:
+        coordinator.close()
+
+
+def test_deterministic_worker_error_fails_campaign():
+    specs = [("no.such.benchmark", SMALL, "baseline", (), 0.05, 2017)]
+    executor = ClusterExecutor(local_workers=1, wait_timeout=60)
+    with pytest.raises(RuntimeError, match="no.such.benchmark|errored"):
+        executor.run(specs)
+
+
+def test_late_duplicate_error_does_not_end_campaign():
+    specs = small_specs(schemes=("baseline",))
+    coordinator = ClusterCoordinator(specs, heartbeat_timeout=5.0)
+    coordinator.start()
+    try:
+        host, port = coordinator.address
+        # A real worker completes the whole grid first.
+        _worker, thread = start_worker(host, port, name="winner")
+        assert coordinator.wait(timeout=120)
+        thread.join(timeout=10)
+        # A straggler now reports an error for an already-done cell:
+        # it must be ack'd and ignored, not recorded as a failure.
+        conn = socket.create_connection((host, port), timeout=5)
+        send_frame(conn, {"kind": "hello", "worker": "straggler",
+                          "protocol": PROTOCOL_VERSION})
+        recv_frame(conn)
+        send_frame(conn, {"kind": "error", "cell_id": 0,
+                          "error": "MemoryError: host-specific"})
+        assert recv_frame(conn)["kind"] == "ack"
+        conn.close()
+        assert coordinator.stats()["failed"] == 0
+        assert len(coordinator.results()) == len(specs)  # does not raise
+    finally:
+        coordinator.close()
+
+
+def test_protocol_version_mismatch_is_rejected():
+    coordinator = ClusterCoordinator(small_specs(), heartbeat_timeout=5.0)
+    coordinator.start()
+    try:
+        host, port = coordinator.address
+        conn = socket.create_connection((host, port), timeout=5)
+        send_frame(conn, {"kind": "hello", "worker": "old",
+                          "protocol": PROTOCOL_VERSION + 1})
+        assert recv_frame(conn)["kind"] == "reject"
+        conn.close()
+        # A full ClusterWorker against the same mismatch surfaces the
+        # rejection instead of pretending a clean drain.
+        rejected = ClusterWorker(host, port, name="newer")
+        rejected_run = {}
+        orig = PROTOCOL_VERSION
+
+        def run_with_wrong_version():
+            import repro.harness.cluster.worker as worker_module
+
+            worker_module.PROTOCOL_VERSION = orig + 1
+            try:
+                rejected_run["count"] = rejected.run()
+            finally:
+                worker_module.PROTOCOL_VERSION = orig
+
+        run_with_wrong_version()
+        assert rejected_run["count"] == 0
+        assert rejected.disconnected
+        assert "rejected" in rejected.last_error
+        # Stealing without hello is rejected too.
+        conn = socket.create_connection((host, port), timeout=5)
+        send_frame(conn, {"kind": "steal"})
+        assert recv_frame(conn)["kind"] == "reject"
+        conn.close()
+    finally:
+        coordinator.close()
+
+
+# ----------------------------------------------------------------------
+# Executor protocol: one seam, three backends.
+# ----------------------------------------------------------------------
+
+def test_make_executor_kinds():
+    assert isinstance(make_executor("serial"), SerialExecutor)
+    pool = make_executor("pool", jobs=3)
+    assert isinstance(pool, PoolExecutor) and pool.jobs == 3
+    assert isinstance(make_executor("cluster"), ClusterExecutor)
+    with pytest.raises(ValueError):
+        make_executor("carrier-pigeon")
+
+
+def test_serial_and_pool_report_progress_and_stream_results():
+    specs = small_specs(schemes=("baseline",))
+    for executor in (SerialExecutor(), PoolExecutor(jobs=2)):
+        progress = ProgressReporter(label="test").begin(len(specs))
+        streamed = {}
+        results = executor.run(
+            specs, progress=progress,
+            on_result=lambda i, r: streamed.__setitem__(i, r))
+        assert progress.done == len(specs)
+        assert sorted(streamed) == list(range(len(specs)))
+        for index, result in enumerate(results):
+            assert streamed[index].stats.to_dict() == result.stats.to_dict()
+
+
+def test_run_cells_accepts_executor():
+    specs = small_specs(schemes=("baseline",))
+    via_seam = run_cells(specs, executor=SerialExecutor())
+    direct = run_cells(specs, jobs=1)
+    for mine, theirs in zip(via_seam, direct):
+        assert mine.stats.to_dict() == theirs.stats.to_dict()
+
+
+def test_progress_reporter_counters_and_render():
+    progress = ProgressReporter(label="grid").begin(4)
+    for _ in range(3):
+        progress.cell_done(worker="w1")
+    progress.cell_done(worker="w2")
+    snap = progress.snapshot()
+    assert snap["done"] == 4 and snap["total"] == 4
+    assert snap["per_worker"] == {"w1": 3, "w2": 1}
+    assert snap["cells_per_second"] > 0
+    line = progress.render()
+    assert "4/4" in line and "w1:3" in line and "w2:1" in line

@@ -1,0 +1,72 @@
+"""Content-addressed program cache: identity, reuse, invalidation."""
+
+import pytest
+
+from repro.workloads.characteristics import SPEC_PROFILES
+from repro.workloads.program_cache import (
+    cache_stats,
+    cached_program,
+    cached_spec_program,
+    clear_cache,
+    program_key,
+    scaled_profile,
+)
+from repro.workloads.spec2017 import spec_suite
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def test_repeated_requests_share_one_program():
+    first = cached_spec_program("503.bwaves", scale=0.05)
+    second = cached_spec_program("503.bwaves", scale=0.05)
+    assert first is second  # same object, generated once
+    stats = cache_stats()
+    assert stats["misses"] == 1 and stats["hits"] == 1
+
+
+def test_key_tracks_profile_seed_and_scale():
+    profile = SPEC_PROFILES["503.bwaves"]
+    base = program_key(scaled_profile(profile, 1.0), 2017)
+    assert base == program_key(scaled_profile(profile, 1.0), 2017)
+    assert base != program_key(scaled_profile(profile, 0.5), 2017)
+    assert base != program_key(scaled_profile(profile, 1.0), 2018)
+    other = SPEC_PROFILES["505.mcf"]
+    assert base != program_key(scaled_profile(other, 1.0), 2017)
+
+
+def test_generator_version_participates(monkeypatch):
+    profile = scaled_profile(SPEC_PROFILES["503.bwaves"], 0.05)
+    before = program_key(profile, 2017)
+    import repro.workloads.program_cache as module
+
+    monkeypatch.setattr(module, "GENERATOR_VERSION", "999-test")
+    assert program_key(profile, 2017) != before
+
+
+def test_cached_program_matches_direct_generation():
+    from repro.workloads.generator import generate_program
+
+    profile = scaled_profile(SPEC_PROFILES["548.exchange2"], 0.05)
+    cached = cached_program(profile, seed=2017)
+    direct = generate_program(profile, seed=2017)
+    assert [str(i) for i in cached.instructions] == [
+        str(i) for i in direct.instructions]
+    assert cached.initial_memory == direct.initial_memory
+
+
+def test_spec_suite_routes_through_cache():
+    spec_suite(scale=0.05, benchmarks=("503.bwaves", "505.mcf"))
+    assert cache_stats()["misses"] == 2
+    spec_suite(scale=0.05, benchmarks=("503.bwaves", "505.mcf"))
+    stats = cache_stats()
+    assert stats["misses"] == 2 and stats["hits"] == 2
+
+
+def test_unknown_benchmark_still_raises_keyerror():
+    with pytest.raises(KeyError):
+        cached_spec_program("no.such.benchmark", scale=0.05)
