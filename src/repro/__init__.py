@@ -41,6 +41,8 @@ from repro.pipeline import (
 )
 from repro.core import (
     BaselineScheme,
+    DelayOnMissScheme,
+    FenceScheme,
     NDAScheme,
     SCHEME_NAMES,
     STTIssueScheme,
@@ -70,6 +72,8 @@ __all__ = [
     "STTRenameScheme",
     "STTIssueScheme",
     "NDAScheme",
+    "FenceScheme",
+    "DelayOnMissScheme",
     "ShadowTracker",
     "SCHEME_NAMES",
     "make_scheme",

@@ -26,6 +26,10 @@ Subcommands:
     Maintain the persistent result store: ``store verify`` drops
     corrupt/stale cells, ``store gc`` evicts everything outside the
     standard campaign grid for the given scale/seed.
+``schemes``
+    List every registered speculation scheme straight from the scheme
+    registry: canonical name, grid membership, kwargs schema, and the
+    one-line description each scheme declares about itself.
 ``bench``
     Measure simulator throughput (simulated cycles/sec, committed KIPS)
     over the canonical workload suite; prints JSON so the BENCH
@@ -46,9 +50,15 @@ and ``--no-store`` disables it entirely (purely in-memory run).
 """
 
 import argparse
+import os
 import sys
 
-from repro.core.factory import SCHEME_NAMES
+from repro.core.registry import (
+    canonical_name,
+    grid_scheme_names,
+    iter_specs,
+    scheme_names,
+)
 from repro.harness.experiments import (
     experiment_grid_needs,
     experiment_ids,
@@ -106,7 +116,9 @@ def build_parser():
         p.add_argument("--configs", nargs="+", metavar="NAME",
                        help="BOOM config names (default: all four)")
         p.add_argument("--schemes", nargs="+", metavar="NAME",
-                       help="scheme names (default: all four)")
+                       type=canonical_name, choices=scheme_names(),
+                       help="scheme names (default: the standard grid,"
+                            " %s)" % ", ".join(grid_scheme_names()))
 
     grid = sub.add_parser("grid", help="populate the simulation grid")
     add_common(grid)
@@ -144,6 +156,15 @@ def build_parser():
                       help="seconds between heartbeats (default 2)")
     work.add_argument("--max-cells", type=int, default=None,
                       help="stop after N cells (default: until drained)")
+    work.add_argument("--program-cache-dir", default=None, metavar="DIR",
+                      help="persist generated programs under DIR so"
+                           " repeated worker processes skip generation"
+                           " (default: $REPRO_PROGRAM_CACHE_DIR)")
+
+    schemes = sub.add_parser(
+        "schemes", help="list registered speculation schemes")
+    schemes.add_argument("--verbose", action="store_true",
+                         help="also print kwargs schemas")
 
     store = sub.add_parser(
         "store", help="maintain the persistent result store")
@@ -165,7 +186,13 @@ def build_parser():
     bench.add_argument("--config", default="mega",
                        help="BOOM config name (default mega)")
     bench.add_argument("--scheme", default="baseline",
+                       type=canonical_name, choices=scheme_names(),
                        help="scheme name (default baseline)")
+    bench.add_argument("--schemes", nargs="+", metavar="NAME",
+                       type=canonical_name, choices=scheme_names(),
+                       help="bench several schemes over the same"
+                            " programs (report gains a per-scheme"
+                            " section); overrides --scheme")
     bench.add_argument("--scale", type=float, default=1.0,
                        help="workload iteration multiplier (default 1.0)")
     bench.add_argument("--repeats", type=int, default=3,
@@ -181,6 +208,7 @@ def build_parser():
     profile.add_argument("--config", default="mega",
                          help="BOOM config name (default mega)")
     profile.add_argument("--scheme", default="baseline",
+                         type=canonical_name, choices=scheme_names(),
                          help="scheme name (default baseline)")
     profile.add_argument("--scale", type=float, default=1.0,
                          help="workload iteration multiplier (default 1.0)")
@@ -193,6 +221,12 @@ def build_parser():
 
 def make_runner(args):
     store = None if args.no_store else ResultStore(args.store_dir)
+    if store is not None:
+        # Persist generated programs next to the result store so
+        # repeated processes (and forked pool workers) skip generation.
+        from repro.workloads.program_cache import configure_disk_cache
+
+        configure_disk_cache(os.path.join(args.store_dir, "programs"))
     return CampaignRunner(scale=args.scale, seed=args.seed,
                           benchmarks=args.benchmarks, store=store,
                           jobs=args.jobs)
@@ -235,7 +269,7 @@ def _selected_configs(args):
 
 def cmd_grid(args):
     runner = make_runner(args)
-    schemes = tuple(args.schemes) if args.schemes else SCHEME_NAMES
+    schemes = tuple(args.schemes) if args.schemes else grid_scheme_names()
     summary = runner.run_grid(configs=_selected_configs(args),
                               schemes=schemes, jobs=args.jobs,
                               executor=make_cli_executor(args),
@@ -302,7 +336,7 @@ def cmd_serve(args):
     from repro.harness.cluster import ClusterExecutor
 
     runner = make_runner(args)
-    schemes = tuple(args.schemes) if args.schemes else SCHEME_NAMES
+    schemes = tuple(args.schemes) if args.schemes else grid_scheme_names()
     executor = ClusterExecutor(
         host=args.host, port=args.port, local_workers=args.local_workers,
         heartbeat_timeout=args.heartbeat_timeout, on_serving=_announce,
@@ -325,6 +359,10 @@ def cmd_serve(args):
 def cmd_work(args):
     from repro.harness.cluster import ClusterWorker
 
+    if args.program_cache_dir:
+        from repro.workloads.program_cache import configure_disk_cache
+
+        configure_disk_cache(args.program_cache_dir)
     host, port = parse_hostport(args.connect)
     worker = ClusterWorker(host, port, name=args.name,
                            heartbeat_interval=args.heartbeat_interval,
@@ -354,7 +392,7 @@ def cmd_store(args):
     keep = [
         runner.cell_key(benchmark, config, scheme)
         for config in named_configs()
-        for scheme in SCHEME_NAMES
+        for scheme in grid_scheme_names()
         for benchmark in runner.benchmarks
     ]
     summary = store.gc(keep)
@@ -364,12 +402,24 @@ def cmd_store(args):
     return 0
 
 
+def cmd_schemes(args):
+    for spec in iter_specs():
+        grid = "grid" if spec.grid else "    "
+        print("%-14s [%s] %s" % (spec.name, grid, spec.doc))
+        if args.verbose and spec.kwargs:
+            for key, entry in sorted(spec.kwargs.items()):
+                print("    %s: %s = %r  %s"
+                      % (key, entry.type.__name__, entry.default, entry.doc))
+    return 0
+
+
 def cmd_bench(args):
     from repro.harness.bench import format_bench_report, run_throughput_bench
 
     report = run_throughput_bench(
         config=boom_config(args.config), scheme_name=args.scheme,
         scale=args.scale, repeats=args.repeats,
+        schemes=tuple(args.schemes) if args.schemes else None,
     )
     text = format_bench_report(report)
     print(text)
@@ -401,6 +451,7 @@ _COMMANDS = {
     "serve": cmd_serve,
     "work": cmd_work,
     "store": cmd_store,
+    "schemes": cmd_schemes,
     "bench": cmd_bench,
     "profile": cmd_profile,
 }
@@ -412,7 +463,17 @@ def main(argv=None):
         print("\n".join(experiment_ids()))
         return 0
     handler = _COMMANDS.get(args.command, cmd_run)
-    return handler(args)
+    # Commands may point the process-global program disk cache at their
+    # store dir (make_runner) or a --program-cache-dir; scope that to
+    # the command so embedded callers (tests invoking main() in-process)
+    # never leak one run's cache directory into the next.
+    from repro.workloads.program_cache import configure_disk_cache, disk_cache_dir
+
+    previous = disk_cache_dir()
+    try:
+        return handler(args)
+    finally:
+        configure_disk_cache(previous)
 
 
 if __name__ == "__main__":

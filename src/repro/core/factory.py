@@ -1,30 +1,15 @@
-"""Scheme construction by name."""
+"""Scheme construction by name — registry-backed compatibility shim.
 
-from repro.core.plugin import BaselineScheme
-from repro.core.nda import NDAScheme
-from repro.core.stt_issue import STTIssueScheme
-from repro.core.stt_rename import STTRenameScheme
+The scheme engine's single source of truth is
+:mod:`repro.core.registry`; this module keeps the historical import
+surface (``SCHEME_NAMES``, :func:`make_scheme`) alive for the pipeline,
+harness, CLI, and external callers.
+"""
 
-#: Canonical evaluation order used throughout the paper's tables.
-SCHEME_NAMES = ("baseline", "stt-rename", "stt-issue", "nda")
+from repro.core.registry import grid_scheme_names, make_scheme
 
+#: Canonical evaluation order of the standard campaign grid (derived
+#: from the registry; the paper's four schemes first, variants after).
+SCHEME_NAMES = grid_scheme_names()
 
-def make_scheme(name, **kwargs):
-    """Build a secure-speculation scheme by name.
-
-    Names: ``baseline``, ``stt-rename``, ``stt-issue``, ``nda``.
-    ``stt-rename`` accepts ``split_store_taints=True`` for the
-    Section 9.2 store-taint ablation.
-    """
-    name = name.lower()
-    if name == "baseline":
-        return BaselineScheme(**kwargs)
-    if name in ("stt-rename", "stt_rename"):
-        return STTRenameScheme(**kwargs)
-    if name in ("stt-issue", "stt_issue"):
-        return STTIssueScheme(**kwargs)
-    if name == "nda":
-        return NDAScheme(**kwargs)
-    raise ValueError(
-        "unknown scheme %r (choose from %s)" % (name, ", ".join(SCHEME_NAMES))
-    )
+__all__ = ["SCHEME_NAMES", "make_scheme"]

@@ -1,0 +1,92 @@
+"""Fence: the conservative delay-all baseline.
+
+The bluntest point in the defense space (the hardware analogue of
+compiling with a fence after every branch): *every* transmitter — load,
+store address generation, branch, indirect jump — is held in the issue
+queue until it is bound-to-commit, i.e. until no older speculation
+shadow is active.  No taint tracking, no delayed broadcasts; just a
+sequence-number comparison against the live visibility point in the
+ready mask.  Store *data* latching stays unobservable and is never
+blocked, matching the other schemes.
+
+The scheme exists for scenario diversity: it brackets the paper's
+designs from below (STT and NDA recover most of the IPC this scheme
+gives up) while costing almost nothing in timing, area, or power —
+which is exactly the trade the paper's Figure 1 performance story is
+about.  It is also the smallest complete example of adding a scheme
+through the registry: one strategy class, one ``register`` call, all
+in this file (plus a line in
+:data:`repro.core.registry.SCHEME_MODULES`).
+
+Implementation notes: the scheme keeps *no* per-cycle state — it never
+overrides the visibility hook, so it schedules no wakes, and idle-cycle
+fast-forward is never vetoed on its account.  Blocking is purely the
+``blocks_issue`` ready mask, evaluated against the live visibility
+point.  Progress is guaranteed because the oldest unresolved shadow's
+caster is always safe with respect to its own shadow: branches resolve
+in age order, advancing the visibility point past the blocked
+transmitters behind them.
+"""
+
+from repro.core.plugin import SchemeBase
+from repro.core.registry import SchemeSpec, SchemeTiming, register
+from repro.pipeline.uop import DATA
+
+
+class FenceScheme(SchemeBase):
+    """Delay every transmitter until it is bound-to-commit."""
+
+    name = "fence"
+    allows_spec_hit_wakeup = True
+    uses_taint_checkpoints = False
+
+    def blocks_issue(self, uop, half):
+        if not uop.is_transmitter:
+            return False
+        if uop.op_is_store and half == DATA:
+            return False  # latching store data is unobservable
+        core = self.core
+        seq = uop.seq
+        return seq > core.vp_now or seq in core.d_pending
+
+
+# -- timing-model contributions -------------------------------------------
+
+#: One sequence comparator against the broadcast visibility point per
+#: issue-queue entry, plus transmitter gating per select port.
+_ISSUE_FLAT_PS = 120.0
+_ISSUE_PER_ENTRY_PS = 3.0
+#: Energy per blocked (re-examined) ready entry.
+_E_BLOCKED = 0.02
+
+
+def _stage_deltas(cfg):
+    return {"issue": _ISSUE_FLAT_PS + _ISSUE_PER_ENTRY_PS * cfg.iq_entries}
+
+
+def _area_ffs(cfg):
+    # A "safe" latch per issue-queue entry.
+    return cfg.iq_entries * 2.0
+
+
+def _area_luts(cfg):
+    # Sequence comparator per entry + per-slot gating.
+    return cfg.iq_entries * 6.0 + cfg.width * 25.0
+
+
+def _power(stats):
+    return _E_BLOCKED * stats.taint_blocked_issues
+
+
+register(SchemeSpec(
+    name="fence",
+    factory=FenceScheme,
+    doc="Conservative delay-all baseline: every transmitter waits"
+        " until bound-to-commit (fence-after-every-branch analogue).",
+    timing=SchemeTiming(
+        stage_deltas=_stage_deltas,
+        area_luts=_area_luts,
+        area_ffs=_area_ffs,
+        power=_power,
+    ),
+))

@@ -14,14 +14,27 @@ Two structural notes from the paper:
   normal bandwidth).
 * NDA's configuration removes speculative L1-hit scheduling, which the
   paper credits for NDA's baseline-or-better synthesis timing
-  (``allows_spec_hit_wakeup = False``; the timing model credits the
-  removed logic).
+  (``allows_spec_hit_wakeup = False``; the registered area/critpath
+  contributions credit the removed logic).
+
+Releases are *event-scheduled*: a withheld broadcast's gate (the
+visibility point reaching the load, its memory-dependence speculation
+resolving) only ever moves on core events, so the core invokes
+:meth:`~NDAScheme.on_visibility_update` exactly when one of those
+triggers fires, and the scheme books one wake per following cycle only
+while a releasable load is stuck behind the per-cycle ``mem_width``
+budget.  Idle windows with only un-releasable pending loads cost
+nothing and fast-forward freely.
 
 The mechanism depends only on *whether* a load is speculative, never on
 the loaded value, so it introduces no new leakage.
 """
 
 from repro.core.plugin import SchemeBase
+from repro.core.registry import SchemeSpec, SchemeTiming, register
+from repro.timing.area import YROT_TAG_BITS, spec_hit_luts
+from repro.timing.critpath import spec_hit_bypass_delay
+from repro.timing.power import E_BROADCAST
 
 
 class NDAScheme(SchemeBase):
@@ -48,55 +61,48 @@ class NDAScheme(SchemeBase):
         if self.core.is_load_safe(uop.seq):
             self.immediate += 1
             return True
+        self._defer(uop)
+        return False
+
+    def _defer(self, uop):
         self._pending.append(uop)
         self._pending.sort(key=lambda u: u.seq)
         self.deferred += 1
         self.core.stats.deferred_broadcasts += 1
-        return False
 
-    # -- per-cycle -------------------------------------------------------------
+    # -- visibility phase ---------------------------------------------------
 
     def on_visibility_update(self, cycle):
         """Release broadcasts for loads now bound-to-commit.
 
         At most ``mem_width`` broadcasts per cycle (Section 5.1), in
         age order — matching the in-order advance of the visibility
-        point over the ROB.
+        point over the ROB.  When the budget leaves a releasable load
+        behind, the next cycle is booked as a scheme wake; otherwise
+        the remaining pending loads are inert until the next visibility
+        or memory-dependence event and need no further calls.
         """
         if not self._pending:
             return
         vp = self.core.vp_now
         budget = self.core.config.mem_width
         released = 0
+        budget_blocked = False
         remaining = []
         d_pending = self.core.d_pending
         for uop in self._pending:
             if uop.killed:
                 continue
-            if released < budget and uop.seq <= vp and uop.seq not in d_pending:
-                self._release(uop, cycle)
-                released += 1
-            else:
-                remaining.append(uop)
-        self._pending = remaining
-
-    def ff_quiescent(self):
-        """Idle-cycle fast-forward is legal unless a deferred broadcast
-        is releasable *now*: releases are budgeted per cycle and their
-        wait-time counter is attributed per release cycle, so the core
-        must step through them one cycle at a time.  Un-releasable
-        pending loads are inert — their release gate (visibility point,
-        D-shadow set) only moves via scheduled events."""
-        if not self._pending:
-            return True
-        vp = self.core.vp_now
-        d_pending = self.core.d_pending
-        for uop in self._pending:
-            if uop.killed:
-                continue
             if uop.seq <= vp and uop.seq not in d_pending:
-                return False
-        return True
+                if released < budget:
+                    self._release(uop, cycle)
+                    released += 1
+                    continue
+                budget_blocked = True
+            remaining.append(uop)
+        self._pending = remaining
+        if budget_blocked:
+            self.core.schedule_scheme_wake(cycle + 1)
 
     def _release(self, uop, cycle):
         self.core.prf.set_ready(uop.prd)
@@ -123,3 +129,55 @@ class NDAScheme(SchemeBase):
             "nda_deferred": self.deferred,
             "nda_immediate": self.immediate,
         }
+
+
+# -- timing-model contributions (Section 5) -------------------------------
+
+#: Split data-write/broadcast mux in the LSU writeback path.
+_LSU_MUX_PS = 150.0
+
+
+def _stage_deltas(cfg):
+    """Adds a small LSU mux; removes spec-hit logic from the bypass."""
+    return {
+        "lsu": _LSU_MUX_PS,
+        "regread_bypass": -spec_hit_bypass_delay(cfg),
+    }
+
+
+def _area_ffs(cfg):
+    """Delayed-broadcast state: per-LDQ flags + release queue."""
+    tag = YROT_TAG_BITS
+    return (
+        cfg.ldq_entries * (tag + 2)
+        # Completion metadata held until the broadcast is released
+        # (Figure 5b's decoupled data-write / broadcast staging).
+        + cfg.ldq_entries * 30
+        + cfg.mem_width * 64
+    )
+
+
+def _area_luts(cfg):
+    return (
+        cfg.ldq_entries * 9             # release scan
+        + cfg.mem_width * 120           # split write/broadcast mux
+        - spec_hit_luts(cfg)            # removed replay logic
+    )
+
+
+def _power(stats):
+    return E_BROADCAST * stats.deferred_broadcasts
+
+
+register(SchemeSpec(
+    name="nda",
+    factory=NDAScheme,
+    doc="NDA-Permissive (Section 5): delayed ready broadcasts for"
+        " speculative loads; removes speculative L1-hit scheduling.",
+    timing=SchemeTiming(
+        stage_deltas=_stage_deltas,
+        area_luts=_area_luts,
+        area_ffs=_area_ffs,
+        power=_power,
+    ),
+))

@@ -8,9 +8,17 @@ across schemes — mirroring how the RTL designs modify a common BOOM.
 
 Hook call sites (in per-cycle order):
 
-* ``on_visibility_update`` — after writeback, before issue: the
-  visibility point may have advanced; untaint broadcasts and NDA's
-  delayed broadcasts are released here.
+* ``on_visibility_update`` — the visibility phase (after writeback,
+  before issue), *event-scheduled*: the core invokes it only when the
+  phase-3 visibility point changed since the scheme last saw it, when a
+  memory-dependence speculation resolved (``d_pending`` shrank), or
+  when the scheme booked the cycle itself via
+  ``core.schedule_scheme_wake(cycle)``.  Untaint broadcasts and NDA's
+  delayed broadcasts are released here; a scheme that needs the next
+  cycle too (budgeted release queues, the STT one-cycle broadcast lag)
+  schedules a wake before returning.  Idle-cycle fast-forward is gated
+  on the same three triggers, so "no pending scheme wake" *is* the
+  quiescence condition — there is no polled ``ff_quiescent`` any more.
 * ``blocks_issue`` — during select, per issue-queue entry (and per
   store half): a True return masks the entry's ready signal.
 * ``on_issue`` — when an entry wins selection; returning False turns
@@ -22,15 +30,17 @@ Hook call sites (in per-cycle order):
   — recovery lifecycle.
 """
 
+from repro.core.registry import SchemeSpec, register
+
 
 def overridden_hook(scheme, name):
     """Bound hook method if ``scheme`` overrides it, else ``None``.
 
     The pipeline's hot paths (issue select, rename, load completion,
-    the per-cycle visibility update) resolve their hooks through this
-    once at construction: a scheme that keeps a default (no-op /
-    permissive) implementation costs zero calls per micro-op instead of
-    one dynamic dispatch each.
+    the visibility phase) resolve their hooks through this once at
+    construction: a scheme that keeps a default (no-op / permissive)
+    implementation costs zero calls per micro-op instead of one dynamic
+    dispatch each.
     """
     if getattr(type(scheme), name) is getattr(SchemeBase, name):
         return None
@@ -85,24 +95,18 @@ class SchemeBase:
         """Load data arrived.  Return True to broadcast ready now."""
         return True
 
-    # -- per-cycle ---------------------------------------------------------
+    # -- visibility phase ---------------------------------------------------
 
     def on_visibility_update(self, cycle):
-        """Visibility point possibly advanced (post-writeback)."""
+        """Visibility phase, invoked on the triggers documented above.
 
-    def ff_quiescent(self):
-        """May the core fast-forward over idle cycles right now?
-
-        Must return True only if repeating :meth:`on_visibility_update`
-        once per skipped cycle — with an unchanged visibility point and
-        no other pipeline activity — would change neither scheme state
-        nor core state (registers, statistics).  The default is safe
-        for any scheme that does not override
-        :meth:`on_visibility_update`; schemes with per-cycle state (the
-        STT broadcast lag, NDA's deferred-broadcast queue) override
-        this with an exact quiescence test.
+        Overriders must uphold the event contract: any state that would
+        have to advance on the *next* cycle as well (a budget-limited
+        release queue, a broadcast delay line still lagging) must be
+        booked with ``self.core.schedule_scheme_wake(cycle + 1)`` —
+        un-booked cycles are skipped, both by the dispatcher and by the
+        idle-cycle fast-forward.
         """
-        return type(self).on_visibility_update is SchemeBase.on_visibility_update
 
     def extra_stats(self):
         """Scheme-specific counters merged into the run statistics."""
@@ -117,3 +121,10 @@ class BaselineScheme(SchemeBase):
     """
 
     name = "baseline"
+
+
+register(SchemeSpec(
+    name="baseline",
+    factory=BaselineScheme,
+    doc="Unsafe out-of-order baseline: no speculation defense.",
+))

@@ -18,10 +18,20 @@ executes — the one-cycle advantage over STT-Rename's masked wakeup
 (Section 9.1).  Stores taint their address and data operands
 independently, so partial address generation usually proceeds
 untainted (Section 9.2's advantage over the unified STT-Rename store).
+
+The untaint *broadcast* (the delayed visibility-point copy used for
+ready-masking) follows the same event-scheduled catch-up protocol as
+STT-Rename: the core invokes the visibility hook on changes, and the
+scheme books one wake for the cycle the broadcast needs to catch up.
 """
 
 from repro.core.plugin import SchemeBase
+from repro.core.registry import SchemeSpec, SchemeTiming, register
 from repro.pipeline.uop import ADDR, DATA, WHOLE
+from repro.timing.area import YROT_TAG_BITS
+from repro.timing.power import E_BROADCAST
+
+import math
 
 
 class STTIssueScheme(SchemeBase):
@@ -124,16 +134,16 @@ class STTIssueScheme(SchemeBase):
                 self.taints_applied += 1
         return True
 
-    # -- per-cycle -------------------------------------------------------------
+    # -- visibility phase ---------------------------------------------------
 
     def on_visibility_update(self, cycle):
+        # Same event-scheduled broadcast catch-up as STT-Rename: one
+        # wake while the one-cycle delay line still lags.
         self._broadcast_vp = self._prev_vp
-        self._prev_vp = self.core.vp_now
-
-    def ff_quiescent(self):
-        """Same broadcast-lag quiescence condition as STT-Rename."""
         vp = self.core.vp_now
-        return self._broadcast_vp == vp and self._prev_vp == vp
+        self._prev_vp = vp
+        if self._broadcast_vp != vp:
+            self.core.schedule_scheme_wake(cycle + 1)
 
     def on_flush_all(self):
         self._taint_unit = [None] * self.core.config.num_phys_regs
@@ -144,3 +154,67 @@ class STTIssueScheme(SchemeBase):
             "loads_tainted": self.loads_tainted,
             "stt_issue_nops": self.nops_issued,
         }
+
+
+# -- timing-model contributions (Section 4.3, Figure 4) -------------------
+
+# Issue-path additions: taint unit + YRoT broadcast.
+_TAINT_FLAT = 504.0
+_TAINT_PER_ENTRY = 131.0
+#: Each memory pipe is an extra untaint-broadcast source the taint
+#: unit must arbitrate (bites only on the two-port Mega).
+_TAINT_PER_MEM_PORT = 800.0
+#: Taint-unit CAM access energy, charged on *every* issue.
+_E_TAINT_LOOKUP = 0.10
+
+
+def _stage_deltas(cfg):
+    """The taint unit sits on the timing-sensitive issue path."""
+    return {
+        "issue": (
+            _TAINT_FLAT
+            + _TAINT_PER_ENTRY * cfg.iq_entries
+            + _TAINT_PER_MEM_PORT * (cfg.mem_width - 1)
+            + 20.0 * math.log2(max(2, cfg.num_phys_regs))
+        ),
+    }
+
+
+def _area_ffs(cfg):
+    """Physical-register taint table (no checkpoints)."""
+    tag = YROT_TAG_BITS
+    return (
+        cfg.num_phys_regs * (tag + 1)   # table + valid bits
+        + cfg.iq_entries * (tag + 2)    # YRoT field + ready mask
+        + cfg.issue_width * 90          # taint-unit pipeline regs
+    )
+
+
+def _area_luts(cfg):
+    return (
+        cfg.issue_width * 2 * 50        # taint-unit comparators
+        + cfg.num_phys_regs * 3         # table read/update muxing
+        + cfg.iq_entries * 9            # broadcast compare
+        + cfg.width * 40                # nop conversion / gating
+    )
+
+
+def _power(stats):
+    """A CAM lookup per issue (useful or wasted) plus broadcasts."""
+    issued = stats.committed_instructions + stats.wasted_issue_slots
+    return _E_TAINT_LOOKUP * issued + E_BROADCAST * stats.committed_loads
+
+
+register(SchemeSpec(
+    name="stt-issue",
+    factory=STTIssueScheme,
+    doc="Speculative Taint Tracking, taints computed at issue"
+        " (Section 4.3, the paper's novel design); flat taint-unit"
+        " cost on the issue path.",
+    timing=SchemeTiming(
+        stage_deltas=_stage_deltas,
+        area_luts=_area_luts,
+        area_ffs=_area_ffs,
+        power=_power,
+    ),
+))

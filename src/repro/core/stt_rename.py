@@ -5,13 +5,19 @@ micro-op's YRoT (youngest root of taint) is the youngest root among its
 source registers' taints; renaming a group computes YRoTs strictly in
 program order so same-cycle dependencies chain through the group — the
 serial dependency chain of Figure 3, whose single-cycle requirement is
-what costs STT-Rename timing on wide cores (the *timing model* charges
-for that chain; this module models its *behaviour*).
+what costs STT-Rename timing on wide cores (the registered
+``stage_deltas`` charge for that chain; this module models its
+*behaviour*).
 
 Untainting is a broadcast: when the visibility point advances past a
 root, issue-queue entries observe it one cycle later (the scheme keeps
 a one-cycle-delayed copy of the visibility point for ready-masking).
 This is the one-cycle disadvantage versus STT-Issue of Section 9.1.
+The delay line is *event-scheduled*: the core invokes
+:meth:`~STTRenameScheme.on_visibility_update` when the visibility
+point changes, and the scheme books exactly one catch-up wake for the
+following cycle while the broadcast still lags — stable cycles cost
+nothing and never block idle-cycle fast-forward.
 
 Checkpointing (Section 4.2): every branch checkpoint carries a copy of
 the taint RAT.  Restored entries may be stale — roots may have become
@@ -25,8 +31,11 @@ generation is not blocked by a tainted data operand.
 """
 
 from repro.core.plugin import SchemeBase
+from repro.core.registry import KwargSpec, SchemeSpec, SchemeTiming, register
 from repro.isa.registers import NUM_ARCH_REGS
 from repro.pipeline.uop import ADDR, DATA
+from repro.timing.area import YROT_TAG_BITS
+from repro.timing.power import E_BROADCAST
 
 
 class STTRenameScheme(SchemeBase):
@@ -134,23 +143,95 @@ class STTRenameScheme(SchemeBase):
             return False
         return root > self._broadcast_vp or root in self.core.d_pending
 
-    # -- per-cycle -------------------------------------------------------------
+    # -- visibility phase ---------------------------------------------------
 
     def on_visibility_update(self, cycle):
         # Promote last cycle's visibility point to "broadcast" status:
         # the issue queue observes untaints one cycle after resolution.
+        # Invoked when the visibility point moves; while the broadcast
+        # still lags, one catch-up wake keeps the delay line ticking —
+        # the cycle after that, state is stable and needs no calls.
         self._broadcast_vp = self._prev_vp
-        self._prev_vp = self.core.vp_now
-
-    def ff_quiescent(self):
-        """Fast-forward is legal once the one-cycle broadcast lag has
-        fully caught up with the (stable) visibility point; until then
-        each stepped cycle still changes the ready-masking state."""
         vp = self.core.vp_now
-        return self._broadcast_vp == vp and self._prev_vp == vp
+        self._prev_vp = vp
+        if self._broadcast_vp != vp:
+            self.core.schedule_scheme_wake(cycle + 1)
 
     def extra_stats(self):
         return {
             "taints_applied": self.taints_applied,
             "loads_tainted": self.loads_tainted,
         }
+
+
+# -- timing-model contributions (Sections 4.1/4.2, Figure 3) -------------
+
+# Rename-path additions: serial YRoT comparator+mux chain.
+_CHAIN_FLAT = 1500.0   # taint-RAT access
+_CHAIN_LINK = 1268.0   # serial comparator+mux per older slot
+_CHAIN_PORT = 520.0    # port/wiring growth, quadratic in chain length
+# Untaint broadcast loading on every issue slot.
+_BCAST_FLAT = 300.0
+_BCAST_PER_ENTRY = 30.0
+# Per-event energies.
+_E_TAINT_RENAME = 0.05   # taint RAT read/write per rename
+_E_CHECKPOINT = 0.3      # taint-RAT checkpoint copy per branch
+
+
+def _stage_deltas(cfg):
+    """Serial YRoT chain in rename; broadcast loading in issue."""
+    links = cfg.width - 1
+    return {
+        "rename": _CHAIN_FLAT + _CHAIN_LINK * links + _CHAIN_PORT * links * links,
+        "issue": _BCAST_FLAT + _BCAST_PER_ENTRY * cfg.iq_entries,
+    }
+
+
+def _area_ffs(cfg):
+    """Taint RAT + a full copy per checkpoint (the FF surplus)."""
+    tag = YROT_TAG_BITS
+    return (
+        32 * tag                       # taint RAT
+        + cfg.max_branches * 32 * tag  # taint-RAT checkpoints
+        + cfg.iq_entries * tag         # YRoT field per entry
+    )
+
+
+def _area_luts(cfg):
+    """Serial chain comparators/muxes + broadcast compare + gating."""
+    return (
+        cfg.width * (cfg.width + 1) * 30  # chain comparators/muxes
+        + 32 * 7                          # taint-RAT read/update
+        + cfg.iq_entries * 9              # broadcast compare
+        + cfg.width * 40                  # transmitter gating
+    )
+
+
+def _power(stats):
+    """Every rename touches the taint RAT; every branch copies it."""
+    return (
+        _E_TAINT_RENAME * stats.fetched_instructions
+        + _E_CHECKPOINT * stats.committed_branches
+        + E_BROADCAST * stats.committed_loads
+    )
+
+
+register(SchemeSpec(
+    name="stt-rename",
+    factory=STTRenameScheme,
+    doc="Speculative Taint Tracking, taints computed at rename"
+        " (Section 4.1); serial YRoT chain costs timing on wide cores.",
+    kwargs={
+        "split_store_taints": KwargSpec(
+            bool, False,
+            "Two taints per store (address/data) so address generation"
+            " is not blocked by tainted data (Section 9.2).",
+        ),
+    },
+    timing=SchemeTiming(
+        stage_deltas=_stage_deltas,
+        area_luts=_area_luts,
+        area_ffs=_area_ffs,
+        power=_power,
+    ),
+))

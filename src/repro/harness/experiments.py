@@ -11,6 +11,7 @@ evaluation section.
 from dataclasses import dataclass, field
 
 from repro.analysis.ipc import normalized_ipc, suite_mean_ipc, suite_normalized_ipc
+from repro.core.registry import grid_scheme_names, secure_scheme_names
 from repro.analysis.performance import scheme_performance
 from repro.analysis.reporting import format_table, text_bar_chart
 from repro.analysis.trends import (
@@ -24,7 +25,9 @@ from repro.timing.area import estimate_area
 from repro.timing.power import estimate_power
 from repro.timing.synthesis import relative_timing, synthesize
 
-SCHEMES = ("stt-rename", "stt-issue", "nda")
+#: Secure schemes evaluated in every table/figure, derived from the
+#: scheme registry (the paper's three designs plus later variants).
+SCHEMES = secure_scheme_names()
 
 
 @dataclass
@@ -372,8 +375,8 @@ def experiment_table5(runner, gem5_scale=None):
         rows.append(row)
 
     text = format_table(
-        ["Configuration", "Baseline IPC", "STT-Rename loss", "STT-Issue loss",
-         "NDA loss"],
+        ["Configuration", "Baseline IPC"]
+        + ["%s loss" % scheme for scheme in SCHEMES],
         rows,
         title=(
             "Table 5: IPC loss, BOOM configurations vs gem5-proxy"
@@ -530,7 +533,7 @@ class Experiment:
 
 
 def _all_schemes():
-    return ("baseline",) + SCHEMES
+    return grid_scheme_names()
 
 
 def _needs_full_grid():

@@ -24,7 +24,7 @@ Three layers cooperate:
 ``python -m repro`` exposes all of this on the command line.
 """
 
-from repro.core.factory import SCHEME_NAMES, make_scheme
+from repro.core.registry import grid_scheme_names, make_scheme
 from repro.harness.parallel import run_cells
 from repro.harness.store import simulation_key
 from repro.pipeline.config import named_configs
@@ -113,7 +113,7 @@ class CampaignRunner:
 
     # -- grid execution ----------------------------------------------------
 
-    def run_grid(self, configs=None, schemes=SCHEME_NAMES, benchmarks=None,
+    def run_grid(self, configs=None, schemes=None, benchmarks=None,
                  jobs=None, executor=None, progress=None):
         """Populate a (benchmark x config x scheme) grid, in parallel.
 
@@ -127,6 +127,7 @@ class CampaignRunner:
         counts.
         """
         configs = list(configs or named_configs())
+        schemes = tuple(schemes or grid_scheme_names())
         benchmarks = tuple(benchmarks or self.benchmarks)
         cells = [
             (benchmark, config, scheme)
@@ -200,7 +201,7 @@ class CampaignRunner:
             progress.finish()
         return summary
 
-    def full_grid(self, configs=None, schemes=SCHEME_NAMES):
+    def full_grid(self, configs=None, schemes=None):
         """Force-populate the whole grid (useful for timing the cost)."""
         self.run_grid(configs=configs, schemes=schemes)
         return self

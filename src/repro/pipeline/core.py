@@ -41,10 +41,16 @@ every cycle in it:
   costs an ordinary idle step).
 * *visibility* — no events, renames, or squashes occur, so the
   visibility point cannot move (checked: the recomputed point equals
-  ``vp_now``), and the scheme's per-cycle hook must be state-free right
-  now (``scheme.ff_quiescent()``; NDA is non-quiescent while a deferred
-  broadcast is releasable, STT while its one-cycle-delayed broadcast
-  visibility point still lags).
+  ``vp_now``), and the scheme's visibility hook would not run anywhere
+  in the window: the hook is *event-scheduled* — it fires only when
+  the phase-3 visibility point changed since the scheme last saw it,
+  when a memory-dependence speculation resolved (``d_version``
+  advanced), or on a cycle the scheme booked via
+  :meth:`schedule_scheme_wake` (NDA books release cycles while a
+  releasable broadcast is budget-blocked, STT books the one catch-up
+  cycle of its broadcast delay line).  The first two triggers are
+  checked directly (they also cannot arise inside an event-free
+  window); the earliest booked wake bounds ``target``.
 * *issue* — the issue queue's ready list is empty; entries only become
   ready through event-driven wakeups.
 * *rename* — either the front end shows no rename-visible entry (any
@@ -235,6 +241,18 @@ class OoOCore:
         # Loads that executed past older stores with unknown addresses
         # (their data is unverified until those stores check aliasing).
         self.d_pending = {}
+        #: Bumped on every d_pending *removal* (a resolution can make a
+        #: withheld broadcast releasable); one of the scheme hook's
+        #: three triggers.
+        self.d_version = 0
+        # Earliest scheme-booked visibility-hook cycle (None = no
+        # booking) and the (visibility point, d_version) the scheme
+        # last observed — the hook's other two triggers.  -1 never
+        # equals a real visibility point, so the hook always fires on
+        # cycle 0 exactly like the old polled dispatch did.
+        self._scheme_wake_at = None
+        self._scheme_seen_vp = -1
+        self._scheme_seen_d = 0
         self.halted = False
         # Scheduled work: per-cycle buckets of (priority, kind, uop,
         # gen, payload) plus a min-heap of bucket cycles.  One heap push
@@ -347,8 +365,12 @@ class OoOCore:
         vp = self.shadows.visibility_point()
         if self.vp_now != (self.next_seq if vp is None else vp):
             return  # visibility point still moving this cycle
-        if not self.scheme.ff_quiescent():
-            return  # scheme's per-cycle hook has state to advance
+        scheme_wake = None
+        if self._scheme_on_visibility_update is not None:
+            if (self.vp_now != self._scheme_seen_vp
+                    or self.d_version != self._scheme_seen_d):
+                return  # the scheme's visibility hook would fire now
+            scheme_wake = self._scheme_wake_at
 
         cycle = self.cycle
         fetch = self.fetch
@@ -393,6 +415,11 @@ class OoOCore:
                 return  # an event is due this very cycle
             if next_event < target:
                 target = next_event
+        if scheme_wake is not None:
+            if scheme_wake <= cycle:
+                return  # a booked scheme wake is due this very cycle
+            if scheme_wake < target:
+                target = scheme_wake
         if target <= cycle:
             return
 
@@ -655,12 +682,48 @@ class OoOCore:
         """
         return seq <= self.vp_now and seq not in self.d_pending
 
+    def schedule_scheme_wake(self, cycle):
+        """Book the scheme's visibility hook for ``cycle`` (or sooner).
+
+        Schemes call this from :meth:`on_visibility_update` when their
+        state must advance again on a later cycle even if nothing else
+        happens (NDA's budget-blocked releases, STT's broadcast
+        catch-up).  Booked cycles also bound the idle-cycle
+        fast-forward, so a wake is never skipped.
+
+        Bookings coalesce into a single earliest-cycle slot: the hook
+        is guaranteed to run *at or before* every booked cycle, and a
+        scheme must re-derive its needs — and re-book — on every
+        invocation (both built-in users recompute their release /
+        catch-up state from scratch each call, so this costs nothing
+        and keeps the per-cycle bookkeeping a lone integer).
+        """
+        current = self._scheme_wake_at
+        if current is None or cycle < current:
+            self._scheme_wake_at = cycle
+
     def _update_visibility(self):
         vp = self.shadows.visibility_point()
-        self.vp_now = self.next_seq if vp is None else vp
+        self.vp_now = vp_now = self.next_seq if vp is None else vp
         hook = self._scheme_on_visibility_update
-        if hook is not None:
-            hook(self.cycle)
+        if hook is None:
+            return
+        # Event-scheduled dispatch: run the hook only when one of its
+        # triggers fired — a booked wake falling due, a visibility
+        # point the scheme has not seen, or a memory-dependence
+        # resolution since the last call.  Each call observes the same
+        # (vp_now, d_pending) state the old per-cycle dispatch showed
+        # it, so scheme behaviour is bit-identical; the skipped calls
+        # are exactly the ones that were provable no-ops.
+        wake = self._scheme_wake_at
+        if wake is not None and wake <= self.cycle:
+            self._scheme_wake_at = None
+        elif (vp_now == self._scheme_seen_vp
+                and self.d_version == self._scheme_seen_d):
+            return
+        self._scheme_seen_vp = vp_now
+        self._scheme_seen_d = self.d_version
+        hook(self.cycle)
 
     # ------------------------------------------------------------------
     # Issue.
@@ -800,8 +863,11 @@ class OoOCore:
         self.iq.squash_younger(seq)
         self.lsu.squash_younger(seq)
         self.shadows.squash_younger(seq)
-        for stale in [k for k, u in self.d_pending.items() if u.killed]:
-            del self.d_pending[stale]
+        stale_d = [k for k, u in self.d_pending.items() if u.killed]
+        if stale_d:
+            for stale in stale_d:
+                del self.d_pending[stale]
+            self.d_version += 1
 
         checkpoint = self.rename.restore_checkpoint(uop.checkpoint_id, squashed)
         uop.checkpoint_id = None
@@ -828,7 +894,9 @@ class OoOCore:
         self.iq.flush()
         self.lsu.flush()
         self.shadows.clear()
-        self.d_pending.clear()
+        if self.d_pending:
+            self.d_pending.clear()
+            self.d_version += 1
         self.rename.flush_all()
         self.scheme.on_flush_all()
         self._pending_squash = None

@@ -31,7 +31,15 @@ Speculative scheduling: loads that miss in the L1 still broadcast a
 speculative wakeup at hit latency; consumers that issued on a
 speculative operand stay in the queue until the operand confirms, and
 are replayed (returned to the not-issued state) when the wakeup is
-killed.  NDA's configuration disables speculative wakeups entirely.
+killed.  Schemes whose registry spec disables L1-hit speculation
+(``allows_spec_hit_wakeup = False``: NDA, delay-on-miss) never
+schedule these wakeups at all.
+
+Scheme ready-masks (``blocks_issue``) are re-evaluated live on every
+select pass over a ready entry, so schemes that gate on the broadcast
+visibility point (STT) or directly on the live one (fence) need no
+wakeup plumbing of their own — a masked entry simply keeps losing
+selection until its gate opens.
 
 Index bookkeeping is lazy where safe: squashed or departed entries may
 linger in ``_waiters``/``_spec_waiters`` sets and are discarded on the

@@ -17,6 +17,20 @@ the exchange2 anomaly of Section 8.1.
 
 Both queues are age-ordered deques: commits retire from the front in
 O(1), and squashes peel the killed suffix off the back.
+
+Store-address resolution (``store_addr_ready``) used to rescan the
+LDQ's whole younger suffix per store; it now runs off two indexes, so
+its cost scales with the *relevant* loads rather than the LDQ size:
+
+* ``_pending_store_waiters`` — store seq -> loads whose
+  memory-dependence speculation names that store; resolution clears
+  each waiter's entry (and its D-shadow when the set empties, bumping
+  the core's ``d_version`` release trigger).
+* ``_ldq_by_addr`` — executed address -> loads, consulted for the
+  ordering-violation check.  Entries are removed eagerly at
+  commit/squash/flush; the per-load liveness and address guards make
+  any stale registration inert, exactly like the old scan's own
+  guards.
 """
 
 from collections import deque
@@ -36,6 +50,11 @@ class LoadStoreUnit:
         #: store seq -> loads waiting to forward from it (data pending).
         #: Entries go stale on squash/replay and are filtered at wake.
         self._store_data_waiters = {}
+        #: store seq -> loads that speculated past it (memory-dependence
+        #: speculation); drained when the store's address resolves.
+        self._pending_store_waiters = {}
+        #: address -> executed loads at that address (violation index).
+        self._ldq_by_addr = {}
 
     # -- capacity ---------------------------------------------------------
 
@@ -79,6 +98,26 @@ class LoadStoreUnit:
         if pending:
             uop.pending_stores = pending
             core.d_pending[seq] = uop
+            waiters = self._pending_store_waiters
+            for store_seq in pending:
+                bucket = waiters.get(store_seq)
+                if bucket is None:
+                    waiters[store_seq] = [uop]
+                else:
+                    bucket.append(uop)
+            # Register in the violation index, regardless of how the
+            # data arrives.  Only loads that executed past an
+            # *unresolved* older store address can ever be flagged —
+            # when every older store's address was already known here,
+            # the forwarding search above saw it, and no later
+            # ``store_addr_ready`` can concern this load (younger
+            # stores never check older loads) — so store-free and
+            # resolved-store paths pay nothing.
+            bucket = self._ldq_by_addr.get(address)
+            if bucket is None:
+                self._ldq_by_addr[address] = [uop]
+            else:
+                bucket.append(uop)
 
         if match is not None:
             if match.data_done:
@@ -96,10 +135,11 @@ class LoadStoreUnit:
         value = core.memory.get(address, 0)
         core.schedule_load_complete(uop, cycle + latency, value)
         hit_latency = self._l1_latency
+        uop.l1_miss = latency > hit_latency
         # A load with no destination (rd == x0) has no consumers to wake
         # speculatively — and no physical register to mark/revoke.
         if (
-            latency > hit_latency
+            uop.l1_miss
             and uop.prd is not None
             and core.scheme.allows_spec_hit_wakeup
         ):
@@ -108,37 +148,50 @@ class LoadStoreUnit:
     # -- store execution ------------------------------------------------------
 
     def store_addr_ready(self, uop, cycle):
-        """A store's address resolved: check younger loads for ordering
-        violations (stale data read past this store), and clear this
-        store from their memory-dependence speculation sets.
+        """A store's address resolved: clear this store from the
+        memory-dependence speculation sets of loads that ran past it,
+        and check same-address younger loads for ordering violations
+        (stale data read past this store).
 
-        Only loads *younger* than the store can be affected (their
-        memory-dependence sets only name older stores), so the scan
-        walks the LDQ's young suffix instead of the whole queue.  The
-        per-load checks are independent, so the reversed order changes
-        nothing observable.
+        Both walks are index-driven (see the module docstring): the
+        per-load guards reproduce the old younger-suffix LDQ scan's
+        verdicts exactly, and the checks are order-independent, so the
+        observable outcome — violation flags, error counts, D-shadow
+        resolutions — is identical.
         """
         seq = uop.seq
         address = uop.address
-        for load in reversed(self.ldq):
-            if load.seq <= seq:
-                break
-            if load.pending_stores and seq in load.pending_stores:
-                load.pending_stores.discard(seq)
-                if not load.pending_stores:
-                    self.core.d_pending.pop(load.seq, None)
-            if load.address != address:
-                continue
-            if load.order_violation:
-                continue
-            if load.forwarded_from is not None and load.forwarded_from > seq:
-                continue  # forwarded from a store younger than this one
-            if load.waiting_on_store is not None and load.waiting_on_store > seq:
-                continue  # will forward from a younger store
-            if load.address is None:
-                continue  # not yet executed: will see this store's address
-            load.order_violation = True
-            self.core.stats.stl_forward_errors += 1
+        core = self.core
+
+        waiting = self._pending_store_waiters.pop(seq, None)
+        if waiting:
+            for load in waiting:
+                pending = load.pending_stores
+                if load.killed or not pending or seq not in pending:
+                    continue  # squashed or replayed since registering
+                pending.discard(seq)
+                if not pending and core.d_pending.pop(load.seq, None) is not None:
+                    # Resolution may make a withheld broadcast
+                    # releasable: advance the scheme-hook trigger.
+                    core.d_version += 1
+
+        bucket = self._ldq_by_addr.get(address)
+        if bucket:
+            for load in bucket:
+                if load.seq <= seq:
+                    continue  # only younger loads can be affected
+                if load.killed or load.committed:
+                    continue  # stale index entry; removed eagerly soon
+                if load.address != address:
+                    continue  # replayed to a different address
+                if load.order_violation:
+                    continue
+                if load.forwarded_from is not None and load.forwarded_from > seq:
+                    continue  # forwarded from a store younger than this one
+                if load.waiting_on_store is not None and load.waiting_on_store > seq:
+                    continue  # will forward from a younger store
+                load.order_violation = True
+                core.stats.stl_forward_errors += 1
 
     def store_data_ready(self, uop, cycle):
         """A store's data arrived: wake loads waiting to forward from it.
@@ -161,6 +214,23 @@ class LoadStoreUnit:
                 load, cycle + self._l1_latency, uop.mem_value
             )
 
+    # -- violation-index bookkeeping --------------------------------------
+
+    def _unindex_load(self, uop):
+        """Drop a departing load from the violation index."""
+        address = uop.address
+        if address is None:
+            return  # never executed: never indexed
+        bucket = self._ldq_by_addr.get(address)
+        if bucket is None:
+            return
+        try:
+            bucket.remove(uop)
+        except ValueError:  # pragma: no cover - defensive
+            return
+        if not bucket:
+            del self._ldq_by_addr[address]
+
     # -- retirement / recovery ---------------------------------------------------
 
     def commit_load(self, uop):
@@ -168,6 +238,7 @@ class LoadStoreUnit:
             self.ldq.popleft()
         else:  # pragma: no cover - defensive; commits are in order
             self.ldq.remove(uop)
+        self._unindex_load(uop)
 
     def commit_store(self, uop):
         if self.stq and self.stq[0] is uop:
@@ -178,19 +249,22 @@ class LoadStoreUnit:
     def squash_younger(self, seq):
         ldq = self.ldq
         while ldq and ldq[-1].seq > seq:
-            ldq.pop()
+            self._unindex_load(ldq.pop())
         stq = self.stq
         while stq and stq[-1].seq > seq:
             stq.pop()
-        waiters = self._store_data_waiters
-        if waiters:
-            for store_seq in [s for s in waiters if s > seq]:
-                del waiters[store_seq]
+        for waiters in (self._store_data_waiters,
+                        self._pending_store_waiters):
+            if waiters:
+                for store_seq in [s for s in waiters if s > seq]:
+                    del waiters[store_seq]
 
     def flush(self):
         self.ldq.clear()
         self.stq.clear()
         self._store_data_waiters.clear()
+        self._pending_store_waiters.clear()
+        self._ldq_by_addr.clear()
 
     def occupancy(self):
         return len(self.ldq), len(self.stq)

@@ -19,8 +19,10 @@ state machine:
 * ``on_preg_revoked`` — ``SPEC_READY -> NOT_READY`` (a speculative
   wakeup was wrong; consumers already marked ready must be demoted).
 
-``write_value_only`` deliberately stays silent: NDA's split data-write /
-broadcast writes the value while withholding the wakeup.
+``write_value_only`` deliberately stays silent: the split data-write /
+broadcast of the delayed-broadcast schemes (NDA, delay-on-miss) writes
+the value while withholding the wakeup; the scheme releases it later
+with ``set_ready`` from its event-scheduled visibility hook.
 """
 
 NOT_READY = 0

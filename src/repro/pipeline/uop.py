@@ -53,6 +53,10 @@ class MicroOp:
         "order_violation",
         "addr_done",
         "data_done",
+        # Did the load's memory access miss the L1?  Set at address
+        # generation; drives spec-hit wakeups and the delay-on-miss
+        # scheme's broadcast gate.
+        "l1_miss",
         # Secure-speculation state.
         "yrot",
         "yrot_addr",
@@ -120,6 +124,7 @@ class MicroOp:
         self.order_violation = False
         self.addr_done = False
         self.data_done = False
+        self.l1_miss = False
         self.yrot = None
         self.yrot_addr = None
         self.yrot_data = None
@@ -182,6 +187,7 @@ class MicroOp:
         self.spec_deps = None
         self.waiting_on_store = None
         self.pending_stores = None
+        self.l1_miss = False
 
     def __repr__(self):
         return "<uop #%d pc=%d %s%s>" % (

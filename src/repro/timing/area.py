@@ -11,19 +11,27 @@ STT-Issue   1.059  1.039
 NDA         0.980  1.027
 ==========  =====  =====
 
-The census counts state bits (FF proxies) and combinational terms
-(LUT proxies) per structure, with per-scheme additions that mirror the
-paper's qualitative attribution: STT-Rename's FF surplus comes from
-taint-RAT *checkpoints* (Section 4.2); STT-Issue trades those FFs for
-a physical-register-indexed taint table; NDA adds a few LSU flags but
-*removes* the speculative-hit scheduling logic, giving it a LUT
-reduction.
+This module owns the *baseline substrate* census: state bits (FF
+proxies) and combinational terms (LUT proxies) per structure of the
+unprotected core.  Per-scheme additions live with the schemes
+themselves — each :class:`~repro.core.registry.SchemeSpec` carries
+``area_luts``/``area_ffs`` contribution callables in its
+:class:`~repro.core.registry.SchemeTiming`, and :func:`estimate_area`
+applies them on top of the baseline.  The registered contributions
+mirror the paper's qualitative attribution: STT-Rename's FF surplus
+comes from taint-RAT *checkpoints* (Section 4.2); STT-Issue trades
+those FFs for a physical-register-indexed taint table; NDA adds a few
+LSU flags but *removes* the speculative-hit scheduling logic
+(:func:`spec_hit_luts`), giving it a LUT reduction.
 """
 
 import math
 from dataclasses import dataclass
 
+from repro.core.registry import get_spec
+
 #: Width of a YRoT tag (enough to index the in-flight load window).
+#: Shared by every taint-tracking scheme's area contribution.
 YROT_TAG_BITS = 7
 
 
@@ -73,57 +81,32 @@ def _baseline_luts(cfg):
     luts += cfg.mem_width * 700                   # LSU datapaths
     luts += 2200                                  # decode
     luts += 1400                                  # fetch / next-PC
-    # Speculative L1-hit scheduling: kill/replay network (NDA removes).
-    luts += cfg.iq_entries * 8 + w * 140
+    # Speculative L1-hit scheduling: kill/replay network (schemes that
+    # disable speculative wakeups subtract spec_hit_luts()).
+    luts += spec_hit_luts(cfg)
     return luts
 
 
-def _spec_hit_luts(cfg):
-    """The speculative-hit scheduling logic NDA removes."""
+def spec_hit_luts(cfg):
+    """The speculative-hit scheduling (kill/replay) logic's LUTs.
+
+    Part of the baseline census; schemes that remove speculative
+    L1-hit wakeups (NDA, delay-on-miss) subtract this in their
+    registered area contribution.
+    """
     return cfg.iq_entries * 8 + cfg.width * 140
 
 
 def estimate_area(config, scheme_name):
-    """Area census for one scheme; returns an :class:`AreaReport`."""
-    cfg = config
-    name = scheme_name.lower()
-    ffs = _baseline_ffs(cfg)
-    luts = _baseline_luts(cfg)
-    preg_tag = YROT_TAG_BITS
+    """Area census for one scheme; returns an :class:`AreaReport`.
 
-    if name in ("stt-rename", "stt_rename"):
-        # Taint RAT + a full copy per checkpoint (the FF surplus).
-        ffs += 32 * preg_tag
-        ffs += cfg.max_branches * 32 * preg_tag
-        ffs += cfg.iq_entries * preg_tag          # YRoT field per entry
-        # Serial YRoT comparators and muxes in rename; untaint
-        # broadcast comparators at every issue slot.
-        luts += cfg.width * (cfg.width + 1) * 30  # chain comparators/muxes
-        luts += 32 * 7                            # taint-RAT read/update
-        luts += cfg.iq_entries * 9                # broadcast compare
-        luts += cfg.width * 40                    # transmitter gating
-    elif name in ("stt-issue", "stt_issue"):
-        # Physical-register taint table (no checkpoints).
-        ffs += cfg.num_phys_regs * (preg_tag + 1)  # table + valid bits
-        ffs += cfg.iq_entries * (preg_tag + 2)     # YRoT field + ready mask
-        ffs += cfg.issue_width * 90                # taint-unit pipeline regs
-        luts += cfg.issue_width * 2 * 50          # taint-unit comparators
-        luts += cfg.num_phys_regs * 3              # table read/update muxing
-        luts += cfg.iq_entries * 9                 # broadcast compare
-        luts += cfg.width * 40                     # nop conversion / gating
-    elif name == "nda":
-        # Delayed-broadcast state: per-LDQ flags + release queue.
-        ffs += cfg.ldq_entries * (preg_tag + 2)
-        # Completion metadata held until the broadcast is released
-        # (Figure 5b's decoupled data-write / broadcast staging).
-        ffs += cfg.ldq_entries * 30
-        ffs += cfg.mem_width * 64
-        luts += cfg.ldq_entries * 9               # release scan
-        luts += cfg.mem_width * 120               # split write/broadcast mux
-        luts -= _spec_hit_luts(cfg)               # removed replay logic
-    elif name != "baseline":
-        raise ValueError("unknown scheme %r" % scheme_name)
-
+    Baseline substrate plus the scheme's registered LUT/FF
+    contributions; unknown scheme names raise ``ValueError``.
+    """
+    timing = get_spec(scheme_name).timing
     return AreaReport(
-        config_name=cfg.name, scheme_name=scheme_name, luts=luts, ffs=ffs
+        config_name=config.name,
+        scheme_name=scheme_name,
+        luts=_baseline_luts(config) + timing.area_luts(config),
+        ffs=_baseline_ffs(config) + timing.area_ffs(config),
     )

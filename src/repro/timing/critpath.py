@@ -7,26 +7,24 @@ Figure 9 (about 158 / 124 / 98 / 79 MHz for Small..Mega), with the
 register-read + bypass network as the baseline-limiting stage — its
 quadratic width term is what makes wider cores clock lower.
 
-Scheme deltas implement the paper's structural arguments:
-
-* **STT-Rename** (Section 4.1): the YRoT computation chains through
-  the rename group — each slot's comparator+mux must see all older
-  slots' results within the same cycle (Figure 3).  The delay has a
-  flat taint-RAT access, a linear serial-chain term, and a quadratic
-  port/wiring term, so the rename stage overtakes the baseline
-  critical path for wide cores (~0.80x frequency at Mega).
-* **STT-Issue** (Section 4.3): YRoT computations are independent, but
-  the taint unit sits on the timing-sensitive issue path and the
-  untaint broadcast loads every issue slot — a mostly-flat cost that
-  bites once at Medium and grows slowly (Figure 10's "notable impact
-  for the Medium configuration, but only slight increases for wider").
-* **NDA** (Section 5): adds nearly nothing, and *removes* speculative
-  L1-hit scheduling from the bypass network, so NDA clocks at or above
-  the baseline.
+This module owns only the *baseline* stage equations.  Per-scheme
+delay contributions live with the schemes: each
+:class:`~repro.core.registry.SchemeSpec` registers a
+``stage_deltas(config)`` callable returning picosecond adjustments per
+stage, and :meth:`CriticalPathModel.delays_for_scheme` applies them on
+top of :meth:`CriticalPathModel.baseline_delays`.  The registered
+deltas encode the paper's structural arguments — the serial YRoT chain
+on STT-Rename's rename path (Section 4.1, Figure 3), the flat
+taint-unit + broadcast cost on STT-Issue's issue path (Section 4.3),
+and NDA's removed speculative-hit scheduling
+(:func:`spec_hit_bypass_delay`), which lets NDA clock at or above the
+baseline (Section 5).
 """
 
 import math
 from dataclasses import dataclass
+
+from repro.core.registry import get_spec
 
 
 @dataclass(frozen=True)
@@ -59,6 +57,17 @@ class StageDelays:
         return stage, items[stage]
 
 
+#: Speculative L1-hit scheduling contribution inside the bypass network
+#: (kill/replay selects).  Part of the baseline; schemes that disable
+#: speculative wakeups subtract it via :func:`spec_hit_bypass_delay`.
+_SPEC_HIT_COEFF = 60.0
+
+
+def spec_hit_bypass_delay(cfg):
+    """Bypass-network delay of the speculative-hit kill/replay logic."""
+    return _SPEC_HIT_COEFF * (cfg.width ** 1.5)
+
+
 class CriticalPathModel:
     """Stage-delay equations for one core configuration."""
 
@@ -68,9 +77,6 @@ class CriticalPathModel:
     _RB_BASE = 4650.0
     _RB_LIN = 1175.0
     _RB_QUAD = 187.0
-    #: Speculative L1-hit scheduling contribution inside the bypass
-    #: network (kill/replay selects); NDA removes it.
-    _SPEC_HIT_COEFF = 60.0
 
     _FETCH_BASE = 2100.0
     _FETCH_LIN = 420.0
@@ -92,25 +98,6 @@ class CriticalPathModel:
 
     _WB_BASE = 2300.0
     _WB_LIN = 300.0
-
-    # STT-Rename rename-path additions (Section 4.1 chain).
-    _STTR_FLAT = 1500.0   # taint-RAT access
-    _STTR_LINK = 1268.0   # serial comparator+mux per older slot
-    _STTR_PORT = 520.0    # port/wiring growth, quadratic in chain length
-
-    # STT-Issue issue-path additions (taint unit + YRoT broadcast).
-    _STTI_FLAT = 504.0
-    _STTI_PER_ENTRY = 131.0
-    #: Each memory pipe is an extra untaint-broadcast source the taint
-    #: unit must arbitrate (bites only on the two-port Mega).
-    _STTI_PER_MEM_PORT = 800.0
-
-    # Shared untaint broadcast loading on the issue path (STT-Rename).
-    _BCAST_FLAT = 300.0
-    _BCAST_PER_ENTRY = 30.0
-
-    # NDA: split data-write/broadcast mux in the LSU writeback path.
-    _NDA_LSU_FLAT = 150.0
 
     def __init__(self, config):
         self.config = config
@@ -146,7 +133,7 @@ class CriticalPathModel:
             + 45.0 * math.log2(max(2, cfg.num_phys_regs))
         )
         if with_spec_hit:
-            delay += self._SPEC_HIT_COEFF * (w ** 1.5)
+            delay += spec_hit_bypass_delay(cfg)
         return delay
 
     def execute_delay(self):
@@ -173,65 +160,21 @@ class CriticalPathModel:
             writeback=self.writeback_delay(),
         )
 
-    # -- scheme deltas --------------------------------------------------------
-
-    def stt_rename_chain_delay(self):
-        """Extra rename delay from the single-cycle YRoT chain."""
-        w = self.config.width
-        links = w - 1
-        return self._STTR_FLAT + self._STTR_LINK * links + self._STTR_PORT * links * links
-
-    def stt_issue_taint_delay(self):
-        """Extra issue delay from the taint unit + YRoT broadcast."""
-        cfg = self.config
-        return (
-            self._STTI_FLAT
-            + self._STTI_PER_ENTRY * cfg.iq_entries
-            + self._STTI_PER_MEM_PORT * (cfg.mem_width - 1)
-            + 20.0 * math.log2(max(2, cfg.num_phys_regs))
-        )
-
-    def broadcast_delay(self):
-        """Untaint broadcast loading on every issue slot (both STTs)."""
-        return self._BCAST_FLAT + self._BCAST_PER_ENTRY * self.config.iq_entries
+    # -- scheme dispatch ----------------------------------------------------
 
     def delays_for_scheme(self, scheme_name):
-        """Stage delays with one scheme's logic merged in."""
+        """Stage delays with one scheme's registered deltas merged in.
+
+        Unknown scheme names raise ``ValueError`` (from the registry).
+        """
         base = self.baseline_delays()
-        name = scheme_name.lower()
-        if name == "baseline":
+        deltas = get_spec(scheme_name).timing.stage_deltas(self.config)
+        if not deltas:
             return base
-        if name in ("stt-rename", "stt_rename"):
-            return StageDelays(
-                fetch=base.fetch,
-                rename=base.rename + self.stt_rename_chain_delay(),
-                issue=base.issue + self.broadcast_delay(),
-                regread_bypass=base.regread_bypass,
-                execute=base.execute,
-                lsu=base.lsu,
-                writeback=base.writeback,
-            )
-        if name in ("stt-issue", "stt_issue"):
-            return StageDelays(
-                fetch=base.fetch,
-                rename=base.rename,
-                issue=base.issue + self.stt_issue_taint_delay(),
-                regread_bypass=base.regread_bypass,
-                execute=base.execute,
-                lsu=base.lsu,
-                writeback=base.writeback,
-            )
-        if name == "nda":
-            return StageDelays(
-                fetch=base.fetch,
-                rename=base.rename,
-                issue=base.issue,
-                regread_bypass=self.regread_bypass_delay(with_spec_hit=False),
-                execute=base.execute,
-                lsu=base.lsu + self._NDA_LSU_FLAT,
-                writeback=base.writeback,
-            )
-        raise ValueError("unknown scheme %r" % scheme_name)
+        stages = base.as_dict()
+        for stage, delta in deltas.items():
+            stages[stage] += delta
+        return StageDelays(**stages)
 
 
 def scheme_stage_delays(config, scheme_name):

@@ -6,6 +6,14 @@ counters from a simulation run at the synthesis frequency (the paper
 synthesizes at a fixed 50 MHz for the area/power comparison, so the
 frequency cancels out of the *relative* numbers).
 
+This module owns the substrate's event energies (commit, fetch, wasted
+slots, kills, flushes, mispredicts).  Scheme-specific terms — taint-RAT
+touches, taint-unit CAM lookups, delayed-broadcast releases — live with
+the schemes: each :class:`~repro.core.registry.SchemeSpec` registers a
+``power(stats)`` callable and :func:`estimate_power` adds its result to
+the substrate energy.  :data:`E_BROADCAST` is exported for those
+contributions (every broadcast-delaying scheme charges it).
+
 The paper's Mega-configuration results this model aims to reproduce:
 STT-Rename ~1.008x, STT-Issue ~1.026x, NDA ~0.936x baseline power.
 The signs follow directly from activity: NDA executes strictly fewer
@@ -17,6 +25,7 @@ plus wasted nop slots.
 
 from dataclasses import dataclass
 
+from repro.core.registry import get_spec
 from repro.timing.area import estimate_area
 
 # Relative energy weights per event (arbitrary units).
@@ -24,12 +33,11 @@ _E_COMMIT = 1.0          # useful work per committed instruction
 _E_FETCH = 0.35
 _E_ISSUE_WASTED = 0.9    # replayed / nop'ed issue slots
 _E_SPEC_KILL = 1.6       # kill broadcast + replay wakeups
-_E_TAINT_LOOKUP = 0.10   # taint unit CAM access (STT-Issue, per issue)
-_E_TAINT_RENAME = 0.05   # taint RAT read/write (STT-Rename, per rename)
-_E_CHECKPOINT = 0.3      # taint-RAT checkpoint copy (STT-Rename)
-_E_BROADCAST = 0.2       # untaint / delayed-broadcast events
 _E_FLUSH = 18.0          # full-pipeline flush
 _E_MISPREDICT = 9.0      # checkpoint restore
+#: Untaint / delayed-broadcast event energy, shared by every
+#: broadcast-delaying scheme's registered power contribution.
+E_BROADCAST = 0.2
 #: Static power per LUT/FF proxy unit.
 _STATIC_PER_LUT = 0.000030
 _STATIC_PER_FF = 0.000012
@@ -61,7 +69,7 @@ def estimate_power(config, scheme_name, stats):
     report from the *same workload*.
     """
     cycles = max(1, stats.cycles)
-    name = scheme_name.lower()
+    timing = get_spec(scheme_name).timing
 
     energy = 0.0
     energy += _E_COMMIT * stats.committed_instructions
@@ -70,19 +78,7 @@ def estimate_power(config, scheme_name, stats):
     energy += _E_SPEC_KILL * stats.spec_wakeup_kills
     energy += _E_FLUSH * stats.order_violation_flushes
     energy += _E_MISPREDICT * (stats.branch_mispredicts + stats.jalr_mispredicts)
-
-    if name in ("stt-rename", "stt_rename"):
-        # Every renamed instruction touches the taint RAT; every branch
-        # copies it into a checkpoint.
-        energy += _E_TAINT_RENAME * stats.fetched_instructions
-        energy += _E_CHECKPOINT * stats.committed_branches
-        energy += _E_BROADCAST * stats.committed_loads
-    elif name in ("stt-issue", "stt_issue"):
-        issued = stats.committed_instructions + stats.wasted_issue_slots
-        energy += _E_TAINT_LOOKUP * issued
-        energy += _E_BROADCAST * stats.committed_loads
-    elif name == "nda":
-        energy += _E_BROADCAST * stats.deferred_broadcasts
+    energy += timing.power(stats)
 
     area = estimate_area(config, scheme_name)
     static = area.luts * _STATIC_PER_LUT + area.ffs * _STATIC_PER_FF

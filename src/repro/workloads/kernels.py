@@ -70,6 +70,60 @@ def chase_kernel(iterations=64, ring_words=1024, seed=1):
     return program
 
 
+def shadowed_miss_kernel(iterations=64, guard_words=4096, victim_words=4096):
+    """Independent cache misses completing under slow branch shadows.
+
+    Each iteration loads a *guard* value whose (data-dependent) branch
+    keeps a C-shadow open until the miss returns, while a burst of
+    independent *victim* loads from a second region miss and complete
+    underneath that shadow.  This is the release-window regime: NDA and
+    delay-on-miss accumulate withheld broadcasts that drain through the
+    per-cycle ``mem_width`` budget when the shadow finally resolves,
+    and STT's untaint broadcasts chase a fast-moving visibility point —
+    the scheme-engine hot path the other kernels barely touch.
+    """
+    source = """
+        li   ra, {iterations}
+        li   sp, {guard}
+        li   gp, {victim}
+        li   t0, 0
+        li   a0, 0
+    loop:
+        andi t1, t0, {guard_mask}
+        add  t1, t1, sp
+        lw   a1, 0(t1)          # guard miss: slow-resolving C-shadow
+        slti t2, a1, 32768
+        beq  t2, zero, skip     # resolves only when the guard returns
+        addi s2, s2, 1
+    skip:
+        andi t3, t0, {victim_mask}
+        add  t3, t3, gp
+        lw   a2, 0(t3)          # victim misses complete under the shadow
+        lw   a3, 64(t3)
+        lw   a4, 128(t3)
+        add  a0, a0, a2
+        add  a0, a0, a3
+        add  a0, a0, a4
+        addi t0, t0, 192
+        addi ra, ra, -1
+        bne  ra, zero, loop
+        sw   a0, 0(zero)
+        halt
+    """.format(
+        iterations=iterations,
+        guard=ARRAY_BASE,
+        victim=RING_BASE,
+        guard_mask=guard_words - 1,
+        victim_mask=victim_words - 1,
+    )
+    program = assemble(source, name="shadowed-miss")
+    for i in range(guard_words):
+        program.initial_memory[ARRAY_BASE + i] = (i * 31 + 5) & 0xFFFF
+    for i in range(victim_words + 128):
+        program.initial_memory[RING_BASE + i] = (i * 13 + 1) & 0xFFFF
+    return program
+
+
 def forwarding_kernel(iterations=64, slots=8, array_words=4096):
     """Tight store-then-load traffic over a tiny region (exchange2-like).
 

@@ -18,24 +18,41 @@ The key (:func:`program_key`) is a SHA-256 over
 - :data:`~repro.workloads.generator.GENERATOR_VERSION`, bumped when
   the generator's output changes for an unchanged profile.
 
-The cache is process-local: ``fork``-based pool workers inherit the
-parent's entries, cluster worker threads share one cache, and a worker
-looping over many cells of one benchmark generates it once.  Programs
-are safe to share — simulation copies the initial memory image and
-never mutates the instruction list.
+Two layers:
+
+* **In-process dict** — always on.  ``fork``-based pool workers
+  inherit the parent's entries, cluster worker threads share one
+  cache, and a worker looping over many cells of one benchmark
+  generates it once.  Programs are safe to share — simulation copies
+  the initial memory image and never mutates the instruction list.
+* **Disk (optional)** — :func:`configure_disk_cache` points the cache
+  at a directory (the CLI uses ``<store-dir>/programs``; the
+  ``REPRO_PROGRAM_CACHE_DIR`` environment variable seeds the default),
+  and programs persist as one JSON file per key, so *separate
+  processes* — repeated CLI runs, freshly spawned cluster workers —
+  reuse generations across their lifetimes.  Writes are atomic (temp
+  file + rename) and corrupt or unreadable files fall back to
+  regeneration; content addressing makes sharing one directory between
+  concurrent writers safe (same key => byte-identical program).
 """
 
 import hashlib
 import json
+import os
+import pathlib
+import tempfile
 import threading
 from dataclasses import asdict, replace
 
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import Program
 from repro.workloads.characteristics import SPEC_PROFILES
 from repro.workloads.generator import GENERATOR_VERSION, generate_program
 
 _CACHE = {}
 _LOCK = threading.Lock()
-_STATS = {"hits": 0, "misses": 0}
+_STATS = {"hits": 0, "misses": 0, "disk_hits": 0}
+_DISK_DIR = None
 
 
 def program_key(profile, seed):
@@ -63,6 +80,92 @@ def scaled_profile(profile, scale):
     return replace(profile, iterations=iterations)
 
 
+# -- disk layer -------------------------------------------------------------
+
+
+def configure_disk_cache(directory):
+    """Enable (a path) or disable (``None``) the persistent layer.
+
+    Returns the previous setting so tests can restore it.  The
+    directory is created lazily on first write.
+    """
+    global _DISK_DIR
+    previous = _DISK_DIR
+    _DISK_DIR = pathlib.Path(directory) if directory else None
+    return previous
+
+
+def disk_cache_dir():
+    """The configured persistent directory, or ``None``."""
+    return _DISK_DIR
+
+
+if os.environ.get("REPRO_PROGRAM_CACHE_DIR"):
+    configure_disk_cache(os.environ["REPRO_PROGRAM_CACHE_DIR"])
+
+
+def _program_to_payload(program):
+    return {
+        "name": program.name,
+        "entry": program.entry,
+        "instructions": [
+            [i.op.value, i.rd, i.rs1, i.rs2, i.imm, i.label]
+            for i in program.instructions
+        ],
+        "initial_memory": {str(a): v for a, v in program.initial_memory.items()},
+        "initial_regs": {str(r): v for r, v in program.initial_regs.items()},
+    }
+
+
+def _program_from_payload(payload):
+    return Program(
+        instructions=[
+            Instruction(op=Opcode(op), rd=rd, rs1=rs1, rs2=rs2, imm=imm,
+                        label=label)
+            for op, rd, rs1, rs2, imm, label in payload["instructions"]
+        ],
+        initial_memory={int(a): v
+                        for a, v in payload["initial_memory"].items()},
+        initial_regs={int(r): v for r, v in payload["initial_regs"].items()},
+        name=payload["name"],
+        entry=payload["entry"],
+    )
+
+
+def _disk_load(key):
+    if _DISK_DIR is None:
+        return None
+    path = _DISK_DIR / ("%s.json" % key)
+    try:
+        with open(path) as handle:
+            program = _program_from_payload(json.load(handle))
+        program.validate()
+        return program
+    except (OSError, ValueError, KeyError, TypeError):
+        return None  # missing/corrupt/stale: fall back to regeneration
+
+
+def _disk_store(key, program):
+    if _DISK_DIR is None:
+        return
+    try:
+        _DISK_DIR.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=str(_DISK_DIR), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(_program_to_payload(program), handle,
+                          separators=(",", ":"))
+            os.replace(tmp, str(_DISK_DIR / ("%s.json" % key)))
+        except BaseException:
+            os.unlink(tmp)
+            raise
+    except OSError:
+        pass  # a read-only or full disk must never fail a simulation
+
+
+# -- lookup -----------------------------------------------------------------
+
+
 def cached_program(profile, seed=2017):
     """Generate ``profile``'s program, memoised by content."""
     key = program_key(profile, seed)
@@ -72,9 +175,16 @@ def cached_program(profile, seed=2017):
             _STATS["hits"] += 1
             return program
         _STATS["misses"] += 1
-    # Generation happens outside the lock; a racing thread may generate
-    # the same (deterministic, identical) program twice — harmless.
+    # Disk lookup and generation happen outside the lock; a racing
+    # thread may generate the same (deterministic, identical) program
+    # twice — harmless.
+    program = _disk_load(key)
+    if program is not None:
+        with _LOCK:
+            _STATS["disk_hits"] += 1
+            return _CACHE.setdefault(key, program)
     program = generate_program(profile, seed=seed)
+    _disk_store(key, program)
     with _LOCK:
         return _CACHE.setdefault(key, program)
 
@@ -90,13 +200,14 @@ def cached_spec_program(benchmark, scale=1.0, seed=2017):
 
 
 def cache_stats():
-    """``{"hits": N, "misses": N, "entries": N}`` for this process."""
+    """Hit/miss counters plus entry count for this process."""
     with _LOCK:
         return {"entries": len(_CACHE), **_STATS}
 
 
 def clear_cache():
-    """Empty the cache and zero the counters (tests, memory pressure)."""
+    """Empty the in-process cache and zero the counters (tests,
+    memory pressure).  The disk layer is left untouched."""
     with _LOCK:
         _CACHE.clear()
-        _STATS["hits"] = _STATS["misses"] = 0
+        _STATS["hits"] = _STATS["misses"] = _STATS["disk_hits"] = 0

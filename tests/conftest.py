@@ -3,9 +3,12 @@
 import pytest
 
 from repro import MEGA, SMALL, OoOCore, make_scheme, run_reference
+from repro.core.registry import scheme_names
 from repro.workloads.generator import WorkloadProfile, generate_program
 
-ALL_SCHEMES = ("baseline", "stt-rename", "stt-issue", "nda")
+#: Every registered scheme, straight from the registry — new variants
+#: automatically join the scheme-parametrised tests.
+ALL_SCHEMES = scheme_names()
 
 
 @pytest.fixture(params=ALL_SCHEMES)
@@ -15,7 +18,7 @@ def scheme_name(request):
 
 
 def run_all_schemes(program, config=MEGA, **core_kwargs):
-    """Run a program under all four schemes; returns {name: result}."""
+    """Run a program under every scheme; returns {name: result}."""
     results = {}
     for name in ALL_SCHEMES:
         core = OoOCore(program, config=config, scheme=make_scheme(name),

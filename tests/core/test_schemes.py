@@ -130,6 +130,89 @@ def test_schemes_never_change_architectural_results(scheme_name):
     assert_matches_reference(program, result, scheme_name)
 
 
+def test_fence_blocks_all_transmitters():
+    """The delay-all baseline: speculative loads simply wait, so it
+    blocks strictly more than STT, taints nothing, and brackets every
+    other scheme's IPC from below."""
+    program = _spectre_like_program()
+    fence = OoOCore(program, config=MEGA, scheme=factory("fence"),
+                    warm_caches=True).run()
+    stt = OoOCore(program, config=MEGA, scheme=factory("stt-issue"),
+                  warm_caches=True).run()
+    assert fence.stats.taint_blocked_issues > 0
+    assert fence.stats.taint_blocked_issues >= stt.stats.taint_blocked_issues
+    assert fence.ipc <= stt.ipc
+    assert "loads_tainted" not in fence.stats.extra
+    assert_matches_reference(program, fence, "fence")
+
+
+def test_fence_keeps_fast_forward_unvetoed():
+    """Fence has no per-cycle state: no visibility hook, no booked
+    wakes, so miss-heavy idle windows still fast-forward."""
+    from repro.workloads.kernels import chase_kernel
+
+    program = chase_kernel(iterations=48, ring_words=64)
+    core = OoOCore(program, config=MEGA, scheme=factory("fence"))
+    core.run()
+    assert core.ff_skipped_cycles > 0
+
+
+def _shadowed_miss_program():
+    """A slow guard load keeps its branch shadow open while a second,
+    independent load misses and completes underneath it — the one case
+    delay-on-miss must still defer."""
+    source = """
+        li   ra, 48
+        li   sp, 0x1000
+        li   gp, 0x40000
+        li   t0, 0
+    loop:
+        add  t1, t0, sp
+        lw   a1, 0(t1)          # guard load: misses, slow
+        slti t2, a1, 1000000
+        beq  t2, zero, skip     # branch resolves only when a1 returns
+        addi s2, s2, 1
+    skip:
+        add  a2, t0, gp
+        lw   a3, 0(a2)          # independent miss under the shadow
+        add  s3, s3, a3
+        addi t0, t0, 128
+        addi ra, ra, -1
+        bne  ra, zero, loop
+        halt
+    """
+    program = assemble(source, name="dom-shadowed-miss")
+    for i in range(0, 48 * 128 + 4, 4):
+        program.initial_memory[0x1000 + i] = i & 255
+        program.initial_memory[0x40000 + i] = (i * 7) & 255
+    return program
+
+
+def test_delay_on_miss_defers_only_misses():
+    """Selective delay: still defers shadowed misses, but far fewer
+    broadcasts than NDA (hits and post-resolution misses run free), and
+    recovers IPC accordingly."""
+    program = _shadowed_miss_program()
+    nda = OoOCore(program, config=MEGA, scheme=factory("nda")).run()
+    dom = OoOCore(program, config=MEGA, scheme=factory("delay-on-miss")).run()
+    assert 0 < dom.stats.deferred_broadcasts < nda.stats.deferred_broadcasts
+    assert dom.stats.extra["dom_deferred"] == dom.stats.deferred_broadcasts
+    assert dom.ipc >= nda.ipc
+    assert_matches_reference(program, dom, "delay-on-miss")
+
+
+def test_delay_on_miss_warm_hits_never_defer():
+    """With every access an on-core hit there is nothing to delay."""
+    from repro.workloads.kernels import streaming_kernel
+
+    program = streaming_kernel(iterations=40, array_words=64)
+    # Warm the L1 itself so no access misses.
+    core = OoOCore(program, config=MEGA, scheme=factory("delay-on-miss"))
+    core.hierarchy.warm(program.initial_memory.keys(), level="l1")
+    result = core.run()
+    assert result.stats.deferred_broadcasts == 0
+
+
 def test_split_store_taints_reduce_violations():
     """Section 9.2's proposed STT-Rename fix."""
     from repro.workloads.kernels import forwarding_kernel

@@ -79,6 +79,66 @@ def test_cli_bench_record(tmp_path, capsys):
     assert printed["aggregate"] == report["aggregate"]
 
 
+def test_cli_accepts_underscore_scheme_aliases(tmp_path, capsys):
+    """Registry aliases (stt_rename) must survive argparse choices."""
+    code = main(["grid", "--scale", "0.05", "--benchmarks", BENCH,
+                 "--configs", "small", "--schemes", "stt_rename",
+                 "--store-dir", str(tmp_path)])
+    assert code == 0
+    assert "1 simulated" in capsys.readouterr().out
+
+
+def test_cli_restores_program_cache_configuration(tmp_path):
+    """main() must not leak one run's disk-cache dir into the process."""
+    from repro.workloads.program_cache import disk_cache_dir
+
+    before = disk_cache_dir()
+    assert main(["grid", "--scale", "0.05", "--benchmarks", BENCH,
+                 "--configs", "small", "--schemes", "baseline",
+                 "--store-dir", str(tmp_path)]) == 0
+    assert disk_cache_dir() == before
+
+
+def test_cli_schemes_lists_registry(capsys):
+    from repro.core.registry import iter_specs
+
+    assert main(["schemes", "--verbose"]) == 0
+    out = capsys.readouterr().out
+    for spec in iter_specs():
+        assert spec.name in out
+    assert "split_store_taints" in out  # kwargs schema printed
+
+
+def test_cli_bench_multi_scheme(tmp_path, capsys):
+    record = tmp_path / "BENCH_MULTI.json"
+    code = main(["bench", "--scale", "0.02", "--repeats", "1",
+                 "--schemes", "baseline", "nda",
+                 "--record", str(record)])
+    assert code == 0
+    report = json.loads(record.read_text())
+    assert set(report["schemes"]) == {"baseline", "nda"}
+    for section in report["schemes"].values():
+        assert section["aggregate"]["cycles"] > 0
+    assert report["aggregate"]["cycles"] == sum(
+        s["aggregate"]["cycles"] for s in report["schemes"].values())
+
+
+def test_cli_grid_populates_program_disk_cache(tmp_path, capsys):
+    """make_runner points the program cache at <store>/programs."""
+    from repro.workloads.program_cache import clear_cache, configure_disk_cache
+
+    previous = configure_disk_cache(None)
+    clear_cache()  # the disk layer persists at generation time
+    try:
+        code = main(["grid", "--scale", "0.05", "--benchmarks", BENCH,
+                     "--configs", "small", "--schemes", "baseline",
+                     "--store-dir", str(tmp_path)])
+        assert code == 0
+        assert list((tmp_path / "programs").glob("*.json"))
+    finally:
+        configure_disk_cache(previous)
+
+
 def test_cli_run_unknown_experiment(capsys):
     assert main(["run", "definitely-not-an-experiment"]) == 2
     assert "unknown experiment" in capsys.readouterr().err

@@ -41,13 +41,19 @@ GOLDEN_DIR = pathlib.Path(__file__).parent / "golden_store"
 GOLDEN_VERSION = "golden-v1"
 
 #: Scheme variants under test: every registered scheme plus the
-#: Section 9.2 split-store-taint ablation of STT-Rename.
+#: Section 9.2 split-store-taint ablation of STT-Rename.  The PR 4
+#: engine refactor (event-scheduled scheme hooks) regenerated the
+#: fixture; every pre-existing cell stayed byte-identical, pinning the
+#: polled -> scheduled equivalence, and the fence / delay-on-miss
+#: variants were recorded on top.
 SCHEME_VARIANTS = (
     ("baseline", {}),
     ("stt-rename", {}),
     ("stt-rename", {"split_store_taints": True}),
     ("stt-issue", {}),
     ("nda", {}),
+    ("fence", {}),
+    ("delay-on-miss", {}),
 )
 
 CONFIGS = (SMALL, MEGA)

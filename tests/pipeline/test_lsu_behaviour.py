@@ -32,6 +32,57 @@ def test_stt_rename_causes_forwarding_errors():
         assert_matches_reference(program, result, result.scheme_name)
 
 
+def test_violation_index_flags_exactly_matching_younger_loads():
+    """The address-indexed violation scan must flag precisely the
+    same-address loads younger than a late-resolving store — no more
+    (the different-address load stays clean), no fewer (both victims
+    counted)."""
+    source = """
+        li   sp, 0x1000
+        li   t0, 7
+        li   t3, 0x2000
+        div  t1, t0, t0       # slow chain delays the store address
+        add  t2, t1, t1
+        sub  t2, t2, t2
+        add  t4, t2, sp
+        sw   t0, 0(t4)        # resolves to 0x1000 long after the loads
+        lw   a1, 0(sp)        # younger, same address: violation
+        lw   a2, 0(sp)        # younger, same address: violation
+        lw   a3, 0(t3)        # younger, different address: clean
+        add  s1, a1, a2
+        add  s1, s1, a3
+        halt
+    """
+    program = assemble(source, name="late-store")
+    program.initial_memory[0x2000] = 99
+    result = OoOCore(program, config=MEGA).run()
+    assert result.stats.stl_forward_errors == 2
+    assert result.stats.order_violation_flushes == 1
+    assert_matches_reference(program, result, "late-store")
+
+
+def test_violation_detection_stable_across_ldq_sizes():
+    """Growing the LDQ (the scan the index replaced was O(younger
+    loads)) must not change what is detected."""
+    program = forwarding_kernel(iterations=120)
+    big = MEGA.scaled(name="mega-big-ldq", ldq_entries=64, stq_entries=64)
+    big_ldq = OoOCore(program, config=big,
+                      scheme=make_scheme("stt-rename")).run()
+    assert big_ldq.stats.stl_forward_errors > 0
+    assert_matches_reference(program, big_ldq, "stt-rename-big-ldq")
+
+
+def test_store_resolution_clears_memory_dependence_sets():
+    """A store address resolution must clear exactly its waiters'
+    pending sets (and their D-shadows) — pinned via NDA, whose releases
+    gate on ``d_pending``: a leaked entry would deadlock the run."""
+    program = forwarding_kernel(iterations=80, slots=8)
+    result = OoOCore(program, config=MEGA, scheme=make_scheme("nda")).run()
+    assert result.halted
+    assert result.stats.deferred_broadcasts > 0
+    assert_matches_reference(program, result, "nda-dpending")
+
+
 def test_violation_flush_preserves_correctness(scheme_name):
     program = forwarding_kernel(iterations=60)
     result = OoOCore(program, config=MEGA, scheme=make_scheme(scheme_name)).run()

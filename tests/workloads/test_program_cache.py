@@ -1,4 +1,7 @@
-"""Content-addressed program cache: identity, reuse, invalidation."""
+"""Content-addressed program cache: identity, reuse, invalidation,
+and the persistent (disk) layer."""
+
+import json
 
 import pytest
 
@@ -8,6 +11,8 @@ from repro.workloads.program_cache import (
     cached_program,
     cached_spec_program,
     clear_cache,
+    configure_disk_cache,
+    disk_cache_dir,
     program_key,
     scaled_profile,
 )
@@ -16,9 +21,11 @@ from repro.workloads.spec2017 import spec_suite
 
 @pytest.fixture(autouse=True)
 def fresh_cache():
+    previous = configure_disk_cache(None)
     clear_cache()
     yield
     clear_cache()
+    configure_disk_cache(previous)
 
 
 def test_repeated_requests_share_one_program():
@@ -70,3 +77,61 @@ def test_spec_suite_routes_through_cache():
 def test_unknown_benchmark_still_raises_keyerror():
     with pytest.raises(KeyError):
         cached_spec_program("no.such.benchmark", scale=0.05)
+
+
+# -- disk layer -------------------------------------------------------------
+
+
+def test_disk_cache_round_trips_across_processes(tmp_path):
+    """A second 'process' (cleared in-memory cache) must reload the
+    persisted program instead of regenerating, bit-identical."""
+    configure_disk_cache(tmp_path)
+    assert disk_cache_dir() == tmp_path
+    first = cached_spec_program("548.exchange2", scale=0.05)
+    assert len(list(tmp_path.glob("*.json"))) == 1
+
+    clear_cache()  # simulate a fresh process sharing the directory
+    second = cached_spec_program("548.exchange2", scale=0.05)
+    assert second is not first
+    assert cache_stats()["disk_hits"] == 1
+    assert [str(i) for i in second.instructions] == [
+        str(i) for i in first.instructions]
+    assert second.initial_memory == first.initial_memory
+    assert second.initial_regs == first.initial_regs
+    assert (second.name, second.entry) == (first.name, first.entry)
+
+
+def test_disk_cached_program_simulates_identically(tmp_path):
+    """The deserialised program must drive the core to the exact same
+    result as the in-memory generation."""
+    from repro.pipeline.config import SMALL
+    from repro.pipeline.core import OoOCore
+
+    configure_disk_cache(tmp_path)
+    generated = cached_spec_program("503.bwaves", scale=0.05)
+    clear_cache()
+    reloaded = cached_spec_program("503.bwaves", scale=0.05)
+    a = OoOCore(generated, config=SMALL, warm_caches=True).run()
+    b = OoOCore(reloaded, config=SMALL, warm_caches=True).run()
+    assert a.to_dict() == b.to_dict()
+
+
+def test_corrupt_disk_entry_falls_back_to_regeneration(tmp_path):
+    configure_disk_cache(tmp_path)
+    cached_spec_program("503.bwaves", scale=0.05)
+    (path,) = tmp_path.glob("*.json")
+    path.write_text("{broken json")
+    clear_cache()
+    program = cached_spec_program("503.bwaves", scale=0.05)
+    program.validate()
+    stats = cache_stats()
+    assert stats["disk_hits"] == 0 and stats["misses"] == 1
+    # The regeneration repaired the on-disk entry.
+    json.loads(path.read_text())
+
+
+def test_disk_layer_optional():
+    """With no directory configured nothing is written anywhere."""
+    assert disk_cache_dir() is None
+    program = cached_spec_program("503.bwaves", scale=0.05)
+    program.validate()
