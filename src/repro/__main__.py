@@ -200,6 +200,11 @@ def build_parser():
     bench.add_argument("--record", metavar="PATH", default=None,
                        help="also write the JSON report to PATH"
                             " (e.g. BENCH_PR3.json at the repo root)")
+    bench.add_argument("--quick", action="store_true",
+                       help="smoke mode: scale 0.1, single repeat —"
+                            " exercises every throughput workload end"
+                            " to end in seconds (CI's crash canary),"
+                            " numbers not comparable to full runs")
 
     profile = sub.add_parser(
         "profile", help="cProfile one grid cell (top cumulative entries)")
@@ -416,9 +421,15 @@ def cmd_schemes(args):
 def cmd_bench(args):
     from repro.harness.bench import format_bench_report, run_throughput_bench
 
+    scale, repeats = args.scale, args.repeats
+    if args.quick:
+        # Smoke mode: the whole suite in seconds, so CI catches
+        # throughput-path crashes; timings are not comparable.
+        scale = min(scale, 0.1)
+        repeats = 1
     report = run_throughput_bench(
         config=boom_config(args.config), scheme_name=args.scheme,
-        scale=args.scale, repeats=args.repeats,
+        scale=scale, repeats=repeats,
         schemes=tuple(args.schemes) if args.schemes else None,
     )
     text = format_bench_report(report)

@@ -100,4 +100,5 @@ register(SchemeSpec(
         area_ffs=_area_ffs,
         power=_power,
     ),
+    ipc_anchor=0.85,
 ))

@@ -29,22 +29,51 @@ transmitters behind them.
 """
 
 from repro.core.plugin import SchemeBase
-from repro.core.registry import SchemeSpec, SchemeTiming, register
+from repro.core.registry import KwargSpec, SchemeSpec, SchemeTiming, register
 from repro.pipeline.uop import DATA
 
 
 class FenceScheme(SchemeBase):
-    """Delay every transmitter until it is bound-to-commit."""
+    """Delay every transmitter until it is bound-to-commit.
+
+    With ``loads_only=True`` the fence narrows to loads: store address
+    generation, branches, and indirect jumps issue freely, and only
+    load execution waits for bound-to-commit.  This is the conservative
+    point for a Spectre-v1-only threat model (the universal gadget's
+    transmitter is the dependent *load*), trading back much of the IPC
+    the full fence gives up while still closing the cache-load channel.
+    """
 
     name = "fence"
     allows_spec_hit_wakeup = True
     uses_taint_checkpoints = False
+
+    #: Class default; an instance constructed with ``loads_only=True``
+    #: shadows it and swaps in the narrowed ready mask below (keeping
+    #: the full-fence hot path free of any per-call mode check —
+    #: ``blocks_issue`` runs once per blocked ready entry per cycle).
+    loads_only = False
+
+    def __init__(self, loads_only=False):
+        super().__init__()
+        if loads_only:
+            self.loads_only = True
+            self.blocks_issue = self._blocks_issue_loads_only
 
     def blocks_issue(self, uop, half):
         if not uop.is_transmitter:
             return False
         if uop.op_is_store and half == DATA:
             return False  # latching store data is unobservable
+        core = self.core
+        seq = uop.seq
+        return seq > core.vp_now or seq in core.d_pending
+
+    def _blocks_issue_loads_only(self, uop, half):
+        """Spectre-v1-only point: fence loads alone; everything else
+        (store address generation, branches, jumps) issues freely."""
+        if not uop.op_is_load:
+            return False
         core = self.core
         seq = uop.seq
         return seq > core.vp_now or seq in core.d_pending
@@ -83,10 +112,18 @@ register(SchemeSpec(
     factory=FenceScheme,
     doc="Conservative delay-all baseline: every transmitter waits"
         " until bound-to-commit (fence-after-every-branch analogue).",
+    kwargs={
+        "loads_only": KwargSpec(
+            bool, False,
+            "Fence only loads (Spectre-v1-only conservative point):"
+            " stores, branches, and jumps issue freely.",
+        ),
+    },
     timing=SchemeTiming(
         stage_deltas=_stage_deltas,
         area_luts=_area_luts,
         area_ffs=_area_ffs,
         power=_power,
     ),
+    ipc_anchor=0.45,
 ))

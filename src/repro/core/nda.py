@@ -105,6 +105,17 @@ class NDAScheme(SchemeBase):
             self.core.schedule_scheme_wake(cycle + 1)
 
     def _release(self, uop, cycle):
+        if (uop.committed
+                and self.core.rename.arch_rat[uop.instr.rd] != uop.prd):
+            # The load committed and a younger writer of the same
+            # architectural register has since committed too, freeing
+            # this physical register — which may already belong to a
+            # younger in-flight uop.  No live consumer can still name
+            # it (any waiting consumer would have had to commit before
+            # that younger writer, which requires this very broadcast),
+            # so the withheld wake is dead: releasing it now would be a
+            # use-after-free of the register.
+            return
         self.core.prf.set_ready(uop.prd)
         completed_at = uop.complete_cycle if uop.complete_cycle is not None else cycle
         self.core.stats.deferred_broadcast_cycles += max(0, cycle - completed_at)
@@ -180,4 +191,5 @@ register(SchemeSpec(
         area_ffs=_area_ffs,
         power=_power,
     ),
+    ipc_anchor=0.79,
 ))

@@ -58,6 +58,20 @@ class STTIssueScheme(SchemeBase):
 
     # -- rename ---------------------------------------------------------
 
+    def on_rename_group(self, uops):
+        """Group rename: clear the group's freshly-allocated entries.
+
+        One pass over the physical-register taint table — order within
+        the group is irrelevant here because destination registers are
+        unique (the free list hands each out once), so the batched form
+        is trivially identical to the per-uop hook.
+        """
+        taint_unit = self._taint_unit
+        for uop in uops:
+            prd = uop.prd
+            if prd is not None:
+                taint_unit[prd] = None
+
     def on_rename_uop(self, uop):
         # Allocation overwrites any stale taint before the register can
         # be read again — the property that makes checkpoints
@@ -217,4 +231,5 @@ register(SchemeSpec(
         area_ffs=_area_ffs,
         power=_power,
     ),
+    ipc_anchor=0.90,
 ))

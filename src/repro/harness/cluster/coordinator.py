@@ -213,11 +213,11 @@ class ClusterCoordinator:
                             break  # declared dead; force a reconnect
                         state.last_seen = time.monotonic()
                 if kind == "hello":
-                    name = self._register(message, conn)
+                    name, reject_reason = self._register(message, conn)
                     if name is None:
                         send_frame(conn, {
                             "kind": "reject",
-                            "error": "protocol version mismatch",
+                            "error": reject_reason,
                         })
                         break
                     send_frame(conn, {
@@ -256,10 +256,31 @@ class ClusterCoordinator:
             self._disconnect(conn)
 
     def _register(self, message, conn):
+        """Validate a ``hello`` and record the worker.
+
+        Returns ``(name, None)`` on success, ``(None, reason)`` on a
+        refused handshake: protocol generation mismatch, or a scheme
+        wire-version mismatch (see the protocol module docstring — a
+        worker with stale scheme code must not feed the shared store).
+        """
         import time
 
         if message.get("protocol") != PROTOCOL_VERSION:
-            return None
+            return None, "protocol version mismatch"
+        from repro.core.registry import scheme_wire_versions
+
+        theirs = message.get("schemes")
+        if not isinstance(theirs, dict):
+            return None, "scheme versions missing from hello"
+        mismatched = [
+            "%s: ours v%s, worker %s" % (scheme, version,
+                                         "v%s" % theirs[scheme]
+                                         if scheme in theirs else "absent")
+            for scheme, version in sorted(scheme_wire_versions().items())
+            if theirs.get(scheme) != version
+        ]
+        if mismatched:
+            return None, "scheme version mismatch (%s)" % "; ".join(mismatched)
         base = str(message.get("worker") or "worker")
         with self._lock:
             name = base
@@ -270,7 +291,7 @@ class ClusterCoordinator:
             state = _WorkerState(name, conn)
             state.last_seen = time.monotonic()
             self._workers[name] = state
-        return name
+        return name, None
 
     # -- queue management -------------------------------------------------
 

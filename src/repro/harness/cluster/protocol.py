@@ -14,6 +14,7 @@ replies.
 worker sends        coordinator replies                    when
 ==================  =====================================  ==========
 ``hello``           ``welcome`` (cells total, protocol)    on connect
+                    / ``reject`` (version mismatch)
 ``steal``           ``cell`` (cell_id + spec) /            worker idle
                     ``wait`` (queue empty, grid live) /
                     ``done`` (grid complete or failed)
@@ -29,6 +30,18 @@ travels with every cell (via ``CoreConfig.to_dict`` /
 :func:`~repro.pipeline.config.config_from_dict`), so a remote worker
 simulates exactly the configuration the coordinator hashed, never a
 same-named approximation.
+
+**Scheme wire versions.**  ``hello`` carries the worker's
+``{scheme name: wire_version}`` map (from
+:func:`repro.core.registry.scheme_wire_versions`, each
+``SchemeSpec.wire_version``).  The coordinator rejects the worker
+unless the worker's version matches its own for *every scheme the
+coordinator knows* — a worker running stale scheme code would
+otherwise simulate cells whose content-addressed keys promise
+behaviour the code no longer implements, silently poisoning the
+shared store.  Workers missing the map entirely (older builds)
+are rejected for the same reason.  Extra schemes known only to the
+worker are harmless: the coordinator never dispatches them.
 
 **Requeue semantics.**  The coordinator owns the queue.  A cell
 leaves the queue when stolen and is marked in-flight against that

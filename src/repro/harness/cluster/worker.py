@@ -23,6 +23,7 @@ import socket
 import threading
 import time
 
+from repro.core.registry import scheme_wire_versions
 from repro.harness.cluster.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
@@ -104,6 +105,10 @@ class ClusterWorker:
                 "kind": "hello",
                 "worker": self.name,
                 "protocol": PROTOCOL_VERSION,
+                # Scheme model generations: the coordinator refuses us
+                # if any shared scheme's version differs from its own
+                # (stale scheme code must not feed the shared store).
+                "schemes": scheme_wire_versions(),
             })
             heartbeat.start()
             steals = 0

@@ -18,9 +18,47 @@ Per-cycle phase order (chosen so values flow like bypass networks):
 3. **visibility** — recompute the visibility point; the scheme releases
    untaint broadcasts / NDA deferred broadcasts here.
 4. **issue** — wakeup/select in the issue queue.
-5. **rename/dispatch** — pull from the fetch buffer into ROB/IQ/LSQ.
+5. **rename/dispatch** — pull one *fetch group* from the fetch buffer
+   into ROB/IQ/LSQ (see "Batched front end" below).
 6. **fetch** — follow predicted control flow.
 7. **squash** — process the oldest misprediction detected this cycle.
+
+**Batched front end.**  The rename stage is group-at-a-time, not
+one-uop-at-a-time.  Each cycle :meth:`_rename_dispatch` builds one
+:class:`~repro.pipeline.fetch.FetchGroup` by popping admissible fetch
+entries — the stall gates run against the live back-end occupancies
+*plus* the group's own in-flight reservations, so the verdicts are
+bit-identical to admitting sequentially — then processes the group in
+whole-group steps:
+
+1. :meth:`RenameUnit.rename_group <repro.pipeline.rename.RenameUnit.rename_group>`
+   — one in-order RAT pass: sources translated, destinations bulk-sliced
+   off the free list, branch checkpoints snapshotted mid-group, so
+   same-cycle dependencies chain through the group (the paper's
+   Figure 2 walkthrough).  The pass also marks every allocated
+   destination not-ready (``PhysRegFile.mark_alloc_group`` fused in
+   via the ``reg_state`` argument) before any member meets the issue
+   queue.
+2. Batched admission — one ``rob.extend`` and one
+   ``IssueQueue.add_group``; C-shadow casts and LDQ/STQ appends ride
+   the group-build loop itself (the inlined form of
+   ``LoadStoreUnit.admit_group``).
+3. The scheme's ``on_rename_group`` hook — one call per group; the
+   default derives per-uop hook order (checkpoint hook then rename
+   hook, program order), STT-Rename overrides it with a single
+   taint-RAT pass (the paper's Section 4.2 rename-time computation).
+
+Casting all of the group's C-shadows before the scheme hook (instead
+of interleaved per uop) is safe: a *younger* shadow never changes an
+older sequence number's safety verdict, because the visibility point
+is the *minimum* active shadow.
+
+Micro-ops are pooled (:class:`~repro.pipeline.uop.MicroOpPool`):
+commit and the squash/flush paths return them to a free list, rename
+re-arms recycled ones, and steady-state simulation allocates no
+micro-op objects.  The safety argument (generation monotonicity,
+idempotent release, guarded stale index entries, the one
+delayed-broadcast exception) lives in :mod:`repro.pipeline.uop`.
 
 Scheduled work lives in a single event heap ordered by
 ``(cycle, priority, insertion order)``; :meth:`next_event_cycle`
@@ -81,7 +119,7 @@ from heapq import heappop, heappush
 from operator import itemgetter
 
 from repro.core.factory import make_scheme
-from repro.core.plugin import SchemeBase, overridden_hook
+from repro.core.plugin import SchemeBase, overridden_hook, rename_group_hook
 from repro.core.shadows import C_SHADOW, D_SHADOW, ShadowTracker
 from repro.frontend.branch_predictor import BranchTargetBuffer, make_predictor
 from repro.isa.instructions import Opcode
@@ -89,13 +127,13 @@ from repro.isa.interp import branch_taken, evaluate_alu, to_unsigned64
 from repro.isa.registers import NUM_ARCH_REGS
 from repro.memsys.hierarchy import MemoryHierarchy
 from repro.pipeline.config import MEGA
-from repro.pipeline.fetch import FetchUnit
+from repro.pipeline.fetch import FetchGroup, FetchUnit
 from repro.pipeline.issue_queue import IssueQueue
 from repro.pipeline.lsu import LoadStoreUnit
-from repro.pipeline.regfile import PhysRegFile
+from repro.pipeline.regfile import READY, PhysRegFile
 from repro.pipeline.rename import RenameUnit
 from repro.pipeline.stats import SimStats
-from repro.pipeline.uop import ADDR, DATA, WHOLE, MicroOp
+from repro.pipeline.uop import ADDR, DATA, WHOLE, MicroOp, MicroOpPool
 
 # Event priorities within one cycle.
 _P_SPEC_KILL = 0
@@ -196,9 +234,10 @@ class OoOCore:
         self.max_cycles = max_cycles
         self.watchdog_cycles = watchdog_cycles
         # Devirtualised scheme hooks (None = default no-op, skipped).
-        self._scheme_on_rename_uop = overridden_hook(scheme, "on_rename_uop")
-        self._scheme_on_checkpoint_create = overridden_hook(
-            scheme, "on_checkpoint_create")
+        # Rename-side hooks dispatch as one group call per cycle; the
+        # resolver falls back to the derived per-uop loop when only the
+        # per-uop hooks are overridden.
+        self._scheme_on_rename_group = rename_group_hook(scheme)
         self._scheme_on_visibility_update = overridden_hook(
             scheme, "on_visibility_update")
         self._scheme_on_load_complete = overridden_hook(
@@ -269,6 +308,10 @@ class OoOCore:
             self._ev_spec_ready,
             self._ev_spec_kill,
         )
+        # Micro-op recycling and the reusable rename-group container
+        # (cleared each cycle, never reallocated).
+        self._uop_pool = MicroOpPool()
+        self._group = FetchGroup()
         self._pending_squash = None
         self._div_busy_until = 0
         self._last_commit_cycle = 0
@@ -437,12 +480,22 @@ class OoOCore:
         """Stall counter blocking ``entry`` from dispatching this cycle,
         or ``None`` if it would dispatch.
 
-        The single source of truth for the rename stall gates:
-        :meth:`_rename_dispatch` charges whatever this returns, and the
-        idle-cycle fast-forward relies on the same verdict — every
+        The reference form of the rename stall gates, probed by the
+        idle-cycle fast-forward on the oldest visible entry: every
         named resource is freed only by events (commit, squash, branch
         resolution), so a blocked verdict holds, on the same counter,
         for a whole event-free window.
+
+        :meth:`_rename_dispatch` applies these same gates inline, as
+        *room counters*: each capacity below is read once at the start
+        of the group build and decremented per admitted entry.  The two
+        forms cannot diverge — nothing mutates any of these structures
+        between the reads and the group's dispatch, so "live occupancy
+        plus in-group reservations" is exactly "occupancy re-read after
+        each sequential admission" — and for the fast-forward's probe
+        (first entry, no reservations) the forms are identical by
+        construction.  The golden fixture pins every stall counter
+        across both paths.
         """
         cfg = self.config
         instr = entry.instr
@@ -451,9 +504,9 @@ class OoOCore:
             return "stall_rob_full"
         if len(self.iq.entries) >= cfg.iq_entries:
             return "stall_iq_full"
-        if info.is_load and self.lsu.ldq_full:
+        if info.is_load and len(self.lsu.ldq) >= cfg.ldq_entries:
             return "stall_ldq_full"
-        if info.is_store and self.lsu.stq_full:
+        if info.is_store and len(self.lsu.stq) >= cfg.stq_entries:
             return "stall_stq_full"
         if info.writes_rd and instr.rd != 0 and not self.rename.free_list:
             return "stall_no_phys_regs"
@@ -475,6 +528,8 @@ class OoOCore:
         width = self.config.width
         stats = self.stats
         cycle = self.cycle
+        prf_state = self.prf.state
+        pool_free = self._uop_pool._free
         while rob and committed < width:
             head = rob[0]
             if not head.completed:
@@ -511,6 +566,16 @@ class OoOCore:
                     self.halted = True
                     return
             self.rename.commit(head)
+            # Retired micro-op back to the pool (inlined release) —
+            # unless its ready broadcast is still withheld by a
+            # delayed-broadcast scheme (NDA family, budget-blocked past
+            # commit: the one holder that outlives retirement; see
+            # repro.pipeline.uop).
+            if (head.prd is None or prf_state[head.prd] == READY) and (
+                not head.in_pool
+            ):
+                head.in_pool = True
+                pool_free.append(head)
 
             if (
                 self._instruction_limit is not None
@@ -774,67 +839,147 @@ class OoOCore:
         cfg = self.config
         cycle = self.cycle
         stats = self.stats
-        queue = self.fetch.queue
-        rob = self.rob
-        iq = self.iq
-        lsu = self.lsu
+        fetch = self.fetch
+        queue = fetch.queue
         rename = self.rename
-        rename_block = self._rename_block
-        on_rename_uop = self._scheme_on_rename_uop
-        on_checkpoint_create = self._scheme_on_checkpoint_create
+        lsu = self.lsu
         width = cfg.width
         depth = cfg.frontend_depth
-        renamed = 0
-        while renamed < width:
-            # Inlined FetchUnit.peek_ready (hot path).
-            if not queue or queue[0].fetch_cycle + depth > cycle:
-                if renamed == 0:
-                    stats.stall_frontend_empty += 1
-                break
+        jalr = Opcode.JALR
+
+        # Nothing rename-visible this cycle: charge the front-end stall
+        # and skip the whole group setup (the common case for low-IPC
+        # cells between fast-forward windows).
+        if not queue or queue[0].fetch_cycle + depth > cycle:
+            stats.stall_frontend_empty += 1
+            return
+
+        # ---- build the fetch group: pop admissible entries -----------
+        # The stall gates are _rename_block's, inlined: checked against
+        # a cycle-start occupancy snapshot plus the group's own
+        # in-flight reservations (the counters below).  Nothing else
+        # mutates ROB/IQ occupancy, the free list, or the checkpoint
+        # pool until the group dispatches — and the LDQ/STQ, which *do*
+        # grow inside the loop, are read live — so every verdict, and
+        # every charged stall counter, matches sequential
+        # one-uop-at-a-time admission (and the fast-forward's
+        # _rename_block probe).  When every resource covers a
+        # full-width group, the per-entry checks are skipped outright:
+        # no entry consumes more than one unit of each.
+        rob_len = len(self.rob)
+        iq_len = len(self.iq.entries)
+        regs_free = len(rename.free_list)
+        cps_free = rename.max_branches - len(rename._checkpoints)
+        ldq = lsu.ldq
+        stq = lsu.stq
+        gated = (rob_len + width > cfg.rob_entries
+                 or iq_len + width > cfg.iq_entries
+                 or len(ldq) + width > cfg.ldq_entries
+                 or len(stq) + width > cfg.stq_entries
+                 or regs_free < width or cps_free < width)
+        group = self._group
+        group.clear()
+        pool = self._uop_pool
+        pool_free = pool._free
+        entry_pool = fetch._entry_pool
+        shadows = self.shadows
+        next_seq = self.next_seq
+        n = 0
+        n_dests = 0
+        n_cps = 0
+        while n < width:
+            if n:
+                # Inlined FetchUnit.peek_ready (the first entry's
+                # visibility was checked above).
+                if not queue or queue[0].fetch_cycle + depth > cycle:
+                    break
             entry = queue[0]
-            # One shared implementation of the stall gates (also used by
-            # the idle-cycle fast-forward), so the two can never drift.
-            stall = rename_block(entry)
-            if stall is not None:
-                setattr(stats, stall, getattr(stats, stall) + 1)
-                break
             instr = entry.instr
             info = instr.info
-            needs_dest = info.writes_rd and instr.rd != 0
-            casts_c_shadow = info.is_branch or instr.op is Opcode.JALR
+            if gated:
+                # _rename_block's gates, same check order (stall
+                # attribution must match); each classification bit
+                # derives just before the gate that consumes it.
+                if rob_len + n >= cfg.rob_entries:
+                    stats.stall_rob_full += 1
+                    break
+                if iq_len + n >= cfg.iq_entries:
+                    stats.stall_iq_full += 1
+                    break
+                is_load = info.is_load
+                is_store = info.is_store
+                if is_load and len(ldq) >= cfg.ldq_entries:
+                    stats.stall_ldq_full += 1
+                    break
+                if is_store and len(stq) >= cfg.stq_entries:
+                    stats.stall_stq_full += 1
+                    break
+                needs_dest = info.writes_rd and instr.rd != 0
+                if needs_dest and n_dests >= regs_free:
+                    stats.stall_no_phys_regs += 1
+                    break
+                casts_c_shadow = info.is_branch or instr.op is jalr
+                if casts_c_shadow and n_cps >= cps_free:
+                    stats.stall_no_checkpoint += 1
+                    break
+            else:
+                is_load = info.is_load
+                is_store = info.is_store
+                needs_dest = info.writes_rd and instr.rd != 0
+                casts_c_shadow = info.is_branch or instr.op is jalr
 
             queue.popleft()
-            uop = MicroOp(self.next_seq, entry.pc, instr, entry.fetch_cycle)
-            self.next_seq += 1
+            # Inlined MicroOpPool.acquire (hot path: one per uop).
+            if pool_free:
+                uop = pool_free.pop()
+                uop.in_pool = False
+                uop.reset(next_seq, entry.pc, instr, entry.fetch_cycle)
+            else:
+                uop = MicroOp(next_seq, entry.pc, instr, entry.fetch_cycle)
+                pool.allocated += 1
+            next_seq += 1
             uop.rename_cycle = cycle
+            uop.in_rob = True
             uop.pred_taken = entry.pred_taken
             uop.pred_target = entry.pred_target
             uop.ghr_at_predict = entry.ghr_before
-
-            rename.rename_sources(uop)
-            # needs_dest is exactly rename_dest's writes_reg guard, so
-            # non-writers skip the call (and writers its property chain).
+            entry_pool.append(entry)
+            group.append(uop)
+            n += 1
+            if is_load:
+                # LDQ/STQ allocation folded into the group build (the
+                # batched form of LoadStoreUnit.admit_group): program
+                # order is preserved and nothing observes the queues
+                # before the group dispatches.
+                ldq.append(uop)
+            elif is_store:
+                stq.append(uop)
             if needs_dest:
-                rename.rename_dest(uop)
-                self.prf.mark_alloc(uop.prd)
-
-            rob.append(uop)
-            uop.in_rob = True
-            iq.add(uop)
-
+                n_dests += 1
             if casts_c_shadow:
-                checkpoint = rename.create_checkpoint(uop, entry.ghr_before)
-                self.shadows.cast(uop.seq, C_SHADOW)
-                if on_checkpoint_create is not None:
-                    on_checkpoint_create(uop, checkpoint)
-            if info.is_store:
-                lsu.add_store(uop)
-            elif info.is_load:
-                lsu.add_load(uop)
+                # Casting the C-shadow at group build (rather than after
+                # the RAT pass) is equivalent: nothing reads the shadow
+                # set until the scheme hook, and a younger shadow never
+                # changes an older seq's safety verdict.
+                shadows.cast(uop.seq, C_SHADOW)
+                n_cps += 1
+        if not n:
+            return  # first entry blocked: stall charged, nothing to do
+        self.next_seq = next_seq
 
-            if on_rename_uop is not None:
-                on_rename_uop(uop)
-            renamed += 1
+        # ---- one in-order RAT pass over the whole group --------------
+        # The pass also marks the allocated destinations not-ready
+        # (mark_alloc_group fused in via reg_state).
+        rename.rename_group(group, self.prf.state)
+
+        # ---- batched downstream admission ----------------------------
+        self.rob.extend(group)
+        self.iq.add_group(group)
+
+        # ---- scheme hook: one call per group -------------------------
+        hook = self._scheme_on_rename_group
+        if hook is not None:
+            hook(group)
 
     # ------------------------------------------------------------------
     # Recovery.
@@ -883,12 +1028,17 @@ class OoOCore:
         # The visibility point may have advanced (squashed shadows).
         vp = self.shadows.visibility_point()
         self.vp_now = self.next_seq if vp is None else vp
+        # Squashed micro-ops back to the pool: every core-side index was
+        # purged or is stale-guarded, and the scheme dropped its own
+        # references in on_checkpoint_restore (see repro.pipeline.uop).
+        self._uop_pool.release_all(squashed)
 
     def _flush_all(self, head):
         """Ordering violation at the ROB head: flush and refetch."""
         self.stats.order_violation_flushes += 1
         self.stats.squashed_uops += len(self.rob)
-        for victim in self.rob:
+        victims = list(self.rob)
+        for victim in victims:
             victim.kill()
         self.rob.clear()
         self.iq.flush()
@@ -905,6 +1055,10 @@ class OoOCore:
         self.vp_now = self.next_seq if vp is None else vp
         # Commit made no progress this cycle, but the flush is progress.
         self._last_commit_cycle = self.cycle
+        # Flushed micro-ops back to the pool (the scheme released or
+        # dropped its references in on_flush_all; the head refetches as
+        # a fresh micro-op).
+        self._uop_pool.release_all(victims)
 
     # ------------------------------------------------------------------
     # Diagnostics.

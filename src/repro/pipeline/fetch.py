@@ -6,6 +6,16 @@ Fetched entries become visible to rename ``frontend_depth`` cycles
 later, modelling the fetch/decode pipeline depth; mispredict redirects
 additionally pay ``redirect_penalty`` cycles before fetch resumes.
 
+The rename stage drains the buffer a *group* at a time:
+:class:`FetchGroup` is the ordered batch of micro-ops leaving the
+buffer together in one cycle, built by the core's rename/dispatch
+phase and handed whole to
+:meth:`~repro.pipeline.rename.RenameUnit.rename_group` and the
+scheme's ``on_rename_group`` hook (the paper's Figure 2 in-order group
+walkthrough).  Fetch entries themselves are pooled — popped entries
+return to a free list and are re-armed in place — so the steady-state
+front end allocates nothing.
+
 :meth:`FetchUnit.fetch_wake_cycle` exposes the fetch side's next
 activity cycle to the core's idle-cycle fast-forward: cycles strictly
 before it are guaranteed fetch no-ops.
@@ -14,6 +24,19 @@ before it are guaranteed fetch no-ops.
 from collections import deque
 
 from repro.isa.instructions import Opcode
+
+
+class FetchGroup(list):
+    """One rename group: micro-ops leaving the fetch buffer together.
+
+    A plain ordered list, age order == program order.  The core keeps
+    a single instance and clears it every cycle, so group dispatch
+    allocates no containers; consumers (rename, issue queue, LSU,
+    scheme hooks) treat it as an immutable snapshot for the duration
+    of the rename phase.
+    """
+
+    __slots__ = ()
 
 
 class FetchEntry:
@@ -29,6 +52,10 @@ class FetchEntry:
     )
 
     def __init__(self, pc, instr, fetch_cycle):
+        self.reset(pc, instr, fetch_cycle)
+
+    def reset(self, pc, instr, fetch_cycle):
+        """Re-arm a recycled entry (identical to a fresh construction)."""
         self.pc = pc
         self.instr = instr
         self.fetch_cycle = fetch_cycle
@@ -50,6 +77,8 @@ class FetchUnit:
         self.fetch_pc = program.entry
         self.stalled_until = 0
         self.halted = False
+        # Recycled FetchEntry objects (bounded by the buffer size).
+        self._entry_pool = []
 
     # -- per-cycle fetch -----------------------------------------------------
 
@@ -62,6 +91,7 @@ class FetchUnit:
         queue = self.queue
         buffer_limit = self.config.fetch_buffer_entries
         stats = self.core.stats
+        entry_pool = self._entry_pool
         while budget > 0 and len(queue) < buffer_limit:
             if not 0 <= self.fetch_pc < program_len:
                 # Wrong-path fetch ran off the program; wait for the
@@ -70,7 +100,17 @@ class FetchUnit:
                 return
             pc = self.fetch_pc
             instr = program[pc]
-            entry = FetchEntry(pc, instr, cycle)
+            if entry_pool:
+                # Inlined FetchEntry.reset (hot path: one per fetch).
+                entry = entry_pool.pop()
+                entry.pc = pc
+                entry.instr = instr
+                entry.fetch_cycle = cycle
+                entry.pred_taken = False
+                entry.pred_target = None
+                entry.ghr_before = None
+            else:
+                entry = FetchEntry(pc, instr, cycle)
             stats.fetched_instructions += 1
             budget -= 1
 
@@ -137,11 +177,18 @@ class FetchUnit:
             return None
         return cycle if cycle >= self.stalled_until else self.stalled_until
 
+    def recycle_entry(self, entry):
+        """Return a consumed (renamed) entry to the free list."""
+        self._entry_pool.append(entry)
+
     # -- recovery ------------------------------------------------------------------
 
     def redirect(self, pc, resume_cycle):
         """Squash the buffer and restart fetch at ``pc``."""
-        self.queue.clear()
+        queue = self.queue
+        if queue:
+            self._entry_pool.extend(queue)
+            queue.clear()
         self.fetch_pc = pc
         self.stalled_until = resume_cycle
         self.halted = False

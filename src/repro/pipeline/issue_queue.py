@@ -116,6 +116,39 @@ class IssueQueue:
                 return
         self._classify(uop)
 
+    def add_group(self, uops):
+        """Insert one renamed fetch group (age order), as one call.
+
+        Exactly :meth:`add` per micro-op with the hot lookups hoisted:
+        the group arrives age-ordered, so ready newcomers append to the
+        back of the ready list, and each member's readiness is judged
+        against the live register state — which already carries the
+        whole group's destination allocations, so an in-group consumer
+        of an in-group producer correctly starts out waiting.
+        """
+        entries = self.entries
+        ready = self._ready
+        state = self.core.prf.state
+        store_can_fire = self._store_can_fire
+        classify = self._classify
+        for uop in uops:
+            entries[uop.seq] = uop
+            if uop.op_is_store:
+                if store_can_fire(uop, state):
+                    uop.iq_status = IQ_READY
+                    ready.append((uop.seq, uop))
+                    continue
+            else:
+                prs1 = uop.prs1
+                prs2 = uop.prs2
+                if (prs1 is None or state[prs1]) and (
+                    prs2 is None or state[prs2]
+                ):
+                    uop.iq_status = IQ_READY
+                    ready.append((uop.seq, uop))
+                    continue
+            classify(uop)
+
     # -- scheduler-state transitions ---------------------------------------
 
     def _classify(self, uop):

@@ -1,21 +1,36 @@
 """Register renaming: RAT, free list, and branch checkpoints.
 
-The paper's Figure 2 walkthrough is implemented here: source registers
-are translated through the register alias table (RAT), destinations
-receive physical registers from the free list, and same-cycle
-dependencies are resolved by renaming a group strictly in program
-order (so younger group members observe older members' allocations).
+The paper's Figure 2 walkthrough is implemented here, *group at a
+time*: :meth:`RenameUnit.rename_group` renames one fetch group in a
+single in-order pass — source registers are translated through the
+register alias table (RAT), destinations receive physical registers
+sliced in bulk off the free list, and same-cycle dependencies resolve
+because younger group members read the RAT *after* older members'
+allocations have been written into it (the serial intra-group chain
+whose hardware cost Figure 2/Figure 3 is about).
 
-Branches (and indirect jumps) allocate a checkpoint: a copy of the RAT
-plus predictor history.  A misprediction restores the checkpoint and
-returns the physical registers allocated by squashed micro-ops to the
-free list.  Secure schemes can stash extra state in the checkpoint via
-the ``scheme_state`` slot — STT-Rename keeps its taint-RAT copy there
+Checkpoints are allocated inside the same pass: a branch (or indirect
+jump) snapshots the RAT *mid-group* — including its own and all older
+group members' allocations, excluding younger ones — exactly the
+state a misprediction must restore.  The caller guarantees capacity
+(free registers, free checkpoints) before submitting the group; the
+admission gates live in ``OoOCore._rename_block``.
+
+The per-uop entry points (:meth:`RenameUnit.rename_sources`,
+:meth:`RenameUnit.rename_dest`) remain as the single-uop primitive —
+``rename_group`` is behaviourally exactly their in-order composition —
+and stay in use by unit tests and tools.
+
+A misprediction restores the checkpoint and returns the physical
+registers allocated by squashed micro-ops to the free list.  Secure
+schemes can stash extra state in the checkpoint via the
+``scheme_state`` slot — STT-Rename keeps its taint-RAT copy there
 (the paper's Section 4.2 checkpointing cost).
 """
 
 from collections import deque
 
+from repro.isa.instructions import Opcode
 from repro.isa.registers import NUM_ARCH_REGS
 
 
@@ -78,6 +93,47 @@ class RenameUnit:
         uop.prd = preg
         self.rat[uop.instr.rd] = preg
         return preg
+
+    def rename_group(self, uops, reg_state=None):
+        """Rename one fetch group in a single in-order RAT pass.
+
+        Equivalent to per-uop ``rename_sources`` + ``rename_dest`` +
+        ``create_checkpoint`` in program order, with the bookkeeping
+        batched into one sweep: destinations consume the free list in
+        exactly the sequential pop order (identical allocations), and
+        younger group members naturally observe older members' RAT
+        writes — the paper's same-cycle dependency resolution.
+        Branch/JALR micro-ops get their checkpoint mid-pass from
+        ``uop.ghr_at_predict`` (set at group build).  The caller must
+        have verified capacity: enough free physical registers for the
+        group's writers and enough checkpoints for its branches.
+
+        ``reg_state``, when given, is the physical register file's
+        readiness list: each allocated destination is marked not-ready
+        (0) in the same pass — the hardware truth that allocation
+        clears the ready bit — sparing the core a separate
+        ``mark_alloc_group`` sweep.  In-group consumers only read the
+        state after the whole pass, so fusing the marks is equivalent.
+        """
+        rat = self.rat
+        popleft = self.free_list.popleft
+        jalr = Opcode.JALR
+        for uop in uops:
+            instr = uop.instr
+            info = instr.info
+            if info.reads_rs1 and instr.rs1 != 0:
+                uop.prs1 = rat[instr.rs1]
+            if info.reads_rs2 and instr.rs2 != 0:
+                uop.prs2 = rat[instr.rs2]
+            if info.writes_rd and instr.rd != 0:
+                preg = popleft()
+                uop.stale_prd = rat[instr.rd]
+                uop.prd = preg
+                rat[instr.rd] = preg
+                if reg_state is not None:
+                    reg_state[preg] = 0  # NOT_READY
+            if info.is_branch or instr.op is jalr:
+                self.create_checkpoint(uop, uop.ghr_at_predict)
 
     # -- checkpoints ------------------------------------------------------
 

@@ -1,10 +1,37 @@
-"""Dynamic micro-op record.
+"""Dynamic micro-op record and the recycling pool.
 
 A :class:`MicroOp` wraps one dynamic instance of a static
 :class:`~repro.isa.instructions.Instruction` as it flows through the
 pipeline.  Stores are a *single* micro-op with two issue halves
 (address and data), mirroring BOOM's unified store micro-op whose
 partial-issue interaction with STT the paper analyses in Section 9.2.
+
+**Pooling.**  Micro-ops are the kernel's only steady-state allocation:
+one per renamed instruction.  :class:`MicroOpPool` recycles them —
+commit and squash return retired micro-ops to a free list, and rename
+re-arms a recycled one via :meth:`MicroOp.reset` instead of
+constructing afresh — so a long simulation allocates a bounded number
+of objects (at most the in-flight maximum, ~ROB entries).
+
+Recycling is safe against stale references because of two invariants:
+
+* ``gen`` is *monotonic across reuses*: :meth:`MicroOp.reset` bumps it
+  instead of zeroing it, so events scheduled against a previous life
+  (which snapshot ``(uop, gen)``) can never match the recycled object.
+* ``in_pool`` makes :meth:`MicroOpPool.release` idempotent: a micro-op
+  can be handed back from several cleanup paths (commit sweep, squash
+  sweep, scheme recovery) without ever entering the free list twice.
+
+Lazily-discarded index registrations (issue-queue waiter sets, LSU
+forward/violation indexes) may still name a recycled object; their
+existing per-entry guards — status, ``killed``, seq, and address
+checks against the object's *current* life — make every such stale
+entry inert, exactly as they did for departed-but-unrecycled objects.
+The one holder that outlives retirement is a delayed-broadcast scheme
+(NDA family) whose budget-blocked load commits before its broadcast
+releases; the core's commit sweep detects that (the destination
+register is still not READY) and simply skips recycling that one
+micro-op.
 """
 
 # Issue "halves" for micro-ops.  Plain ops use WHOLE; stores issue
@@ -84,9 +111,24 @@ class MicroOp:
         "op_is_transmitter",
         "op_is_div",
         "op_latency",
+        # Pool bookkeeping (see MicroOpPool): True while parked on the
+        # free list, guarding against double release.
+        "in_pool",
     )
 
     def __init__(self, seq, pc, instr, fetch_cycle=0):
+        self.gen = 0
+        self.in_pool = False
+        self.reset(seq, pc, instr, fetch_cycle)
+
+    def reset(self, seq, pc, instr, fetch_cycle=0):
+        """Re-arm a recycled micro-op for a new dynamic instruction.
+
+        Restores every field to its fresh-``__init__`` state *except*
+        ``gen``, which instead increments: events scheduled against the
+        previous life snapshot the old generation and must never match
+        the new one (``in_pool`` is pool-managed and not touched here).
+        """
         self.seq = seq
         self.pc = pc
         self.instr = instr
@@ -111,7 +153,7 @@ class MicroOp:
         self.completed = False
         self.committed = False
         self.killed = False
-        self.gen = 0
+        self.gen += 1
         self.mispredicted = False
         self.result = None
         self.taken = False
@@ -196,3 +238,56 @@ class MicroOp:
             self.instr,
             " KILLED" if self.killed else "",
         )
+
+
+class MicroOpPool:
+    """Free-list recycler for :class:`MicroOp` objects.
+
+    One pool per core.  ``acquire`` re-arms a parked micro-op (or
+    constructs one when the list is dry); ``release`` parks a retired
+    or squashed micro-op, idempotently — double releases (commit sweep
+    plus a scheme recovery path, say) are absorbed by the ``in_pool``
+    flag rather than corrupting the free list.  The pool's size is
+    naturally bounded by the in-flight maximum: only micro-ops that
+    made it into the ROB ever come back.
+    """
+
+    __slots__ = ("_free", "allocated")
+
+    def __init__(self):
+        self._free = []
+        #: Fresh constructions (pool was dry).  The recycling evidence:
+        #: a steady-state run's ``allocated`` stays at the in-flight
+        #: maximum while millions of micro-ops pass through.
+        self.allocated = 0
+
+    def __len__(self):
+        return len(self._free)
+
+    def acquire(self, seq, pc, instr, fetch_cycle=0):
+        """A micro-op armed for ``(seq, pc, instr)``: recycled or new.
+
+        The core inlines this in its rename gather loop; the method is
+        the reference implementation (and the tool/test entry point).
+        """
+        free = self._free
+        if free:
+            uop = free.pop()
+            uop.in_pool = False
+            uop.reset(seq, pc, instr, fetch_cycle)
+            return uop
+        self.allocated += 1
+        return MicroOp(seq, pc, instr, fetch_cycle)
+
+    def release(self, uop):
+        """Park a retired/squashed micro-op (no-op if already parked)."""
+        if uop.in_pool:
+            return
+        uop.in_pool = True
+        self._free.append(uop)
+
+    def release_all(self, uops):
+        for uop in uops:
+            if not uop.in_pool:
+                uop.in_pool = True
+                self._free.append(uop)

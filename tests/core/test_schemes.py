@@ -100,6 +100,33 @@ def test_nda_defers_speculative_broadcasts():
     assert_matches_reference(program, result, "nda")
 
 
+def test_nda_release_skips_superseded_committed_load():
+    """A committed load whose architectural mapping has since moved on
+    (a younger same-register writer committed) must not broadcast: its
+    physical register is free — possibly reallocated to a younger
+    in-flight uop — and no live consumer can still name it."""
+    from repro.isa.instructions import Instruction, Opcode
+    from repro.pipeline.regfile import NOT_READY, READY
+    from repro.pipeline.uop import MicroOp
+
+    core = OoOCore(_spectre_like_program(), config=MEGA,
+                   scheme=factory("nda"))
+    scheme = core.scheme
+    load = MicroOp(0, 0, Instruction(Opcode.LW, rd=5, rs1=1, imm=0))
+    load.prd = 40
+    load.committed = True
+    load.complete_cycle = 3
+
+    core.rename.arch_rat[5] = 41  # a younger writer committed
+    core.prf.state[40] = NOT_READY
+    scheme._release(load, 10)
+    assert core.prf.state[40] == NOT_READY, "dead broadcast fired"
+
+    core.rename.arch_rat[5] = 40  # still the live mapping: release
+    scheme._release(load, 10)
+    assert core.prf.state[40] == READY
+
+
 def test_nda_disables_spec_hit_wakeup():
     assert NDAScheme().allows_spec_hit_wakeup is False
     assert STTRenameScheme().allows_spec_hit_wakeup is True
@@ -144,6 +171,54 @@ def test_fence_blocks_all_transmitters():
     assert fence.ipc <= stt.ipc
     assert "loads_tainted" not in fence.stats.extra
     assert_matches_reference(program, fence, "fence")
+
+
+def test_fence_loads_only_narrows_the_mask():
+    """``fence(loads_only=True)``: the Spectre-v1-only conservative
+    point.  Only loads wait for bound-to-commit; store address
+    generation, branches, and jumps issue freely — so it blocks
+    strictly fewer issues and recovers IPC over the full fence, while
+    still delaying the dependent-load transmitter."""
+    program = _spectre_like_program()
+    full = OoOCore(program, config=MEGA, scheme=factory("fence"),
+                   warm_caches=True).run()
+    narrowed = OoOCore(program, config=MEGA,
+                       scheme=factory("fence", loads_only=True),
+                       warm_caches=True).run()
+    assert narrowed.stats.taint_blocked_issues > 0  # loads still fenced
+    assert (narrowed.stats.taint_blocked_issues
+            < full.stats.taint_blocked_issues)
+    assert narrowed.ipc >= full.ipc
+    assert_matches_reference(program, narrowed, "fence loads_only")
+
+
+def test_fence_loads_only_is_a_registry_kwarg():
+    """Wired like any registry kwarg: schema-validated construction,
+    distinct store keys, and cluster wire round-trip."""
+    from repro.core.registry import get_spec
+    from repro.harness.cluster.protocol import spec_from_wire, spec_to_wire
+    from repro.harness.store import simulation_key
+
+    schema = get_spec("fence").kwargs
+    assert schema["loads_only"].type is bool
+    assert schema["loads_only"].default is False
+    with pytest.raises(TypeError):
+        factory("fence", loads_only="yes")
+    with pytest.raises(TypeError):
+        factory("fence", load_only=True)  # typo'ed name fails fast
+
+    scheme = factory("fence", loads_only=True)
+    assert scheme.loads_only is True
+    assert factory("fence").loads_only is False
+
+    plain = simulation_key("503.bwaves", MEGA, "fence")
+    narrowed = simulation_key("503.bwaves", MEGA, "fence",
+                              scheme_kwargs={"loads_only": True})
+    assert plain != narrowed  # different point, different cell
+
+    spec = ("503.bwaves", MEGA, "fence", (("loads_only", True),), 1.0, 2017)
+    roundtrip = spec_from_wire(spec_to_wire(spec))
+    assert roundtrip[3] == (("loads_only", True),)
 
 
 def test_fence_keeps_fast_forward_unvetoed():

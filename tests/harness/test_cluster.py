@@ -27,6 +27,7 @@ from repro.harness.executor import (
     SerialExecutor,
     make_executor,
 )
+from repro.core.registry import scheme_wire_versions
 from repro.harness.parallel import run_cells
 from repro.harness.progress import ProgressReporter
 from repro.harness.runner import CampaignRunner
@@ -201,7 +202,8 @@ def test_silent_worker_times_out_and_is_requeued():
         # crashed one).
         zombie = socket.create_connection((host, port), timeout=5)
         send_frame(zombie, {"kind": "hello", "worker": "zombie",
-                            "protocol": PROTOCOL_VERSION})
+                            "protocol": PROTOCOL_VERSION,
+                            "schemes": scheme_wire_versions()})
         assert recv_frame(zombie)["kind"] == "welcome"
         send_frame(zombie, {"kind": "steal"})
         assert recv_frame(zombie)["kind"] == "cell"
@@ -243,7 +245,8 @@ def test_late_duplicate_error_does_not_end_campaign():
         # it must be ack'd and ignored, not recorded as a failure.
         conn = socket.create_connection((host, port), timeout=5)
         send_frame(conn, {"kind": "hello", "worker": "straggler",
-                          "protocol": PROTOCOL_VERSION})
+                          "protocol": PROTOCOL_VERSION,
+                          "schemes": scheme_wire_versions()})
         recv_frame(conn)
         send_frame(conn, {"kind": "error", "cell_id": 0,
                           "error": "MemoryError: host-specific"})
@@ -289,6 +292,73 @@ def test_protocol_version_mismatch_is_rejected():
         send_frame(conn, {"kind": "steal"})
         assert recv_frame(conn)["kind"] == "reject"
         conn.close()
+    finally:
+        coordinator.close()
+
+
+def test_scheme_wire_version_mismatch_is_rejected():
+    """ROADMAP PR 4 follow-up: a worker whose scheme code is a different
+    generation than the coordinator's must be refused at hello — its
+    results would be content-addressed as if they matched behaviour
+    they no longer (or do not yet) implement."""
+    coordinator = ClusterCoordinator(small_specs(), heartbeat_timeout=5.0)
+    coordinator.start()
+    try:
+        host, port = coordinator.address
+
+        # Stale version for one scheme -> reject naming the scheme.
+        stale = dict(scheme_wire_versions())
+        scheme = sorted(stale)[0]
+        stale[scheme] += 1
+        conn = socket.create_connection((host, port), timeout=5)
+        send_frame(conn, {"kind": "hello", "worker": "stale",
+                          "protocol": PROTOCOL_VERSION, "schemes": stale})
+        reply = recv_frame(conn)
+        assert reply["kind"] == "reject"
+        assert "scheme version mismatch" in reply["error"]
+        assert scheme in reply["error"]
+        conn.close()
+
+        # Missing scheme map entirely (an old build) -> reject.
+        conn = socket.create_connection((host, port), timeout=5)
+        send_frame(conn, {"kind": "hello", "worker": "ancient",
+                          "protocol": PROTOCOL_VERSION})
+        reply = recv_frame(conn)
+        assert reply["kind"] == "reject"
+        assert "scheme versions missing" in reply["error"]
+        conn.close()
+
+        # A worker knowing a scheme the coordinator lacks (but agreeing
+        # on every shared one) is welcomed -- the coordinator never
+        # dispatches the extra scheme.
+        extra = dict(scheme_wire_versions())
+        extra["experimental-v9"] = 1
+        conn = socket.create_connection((host, port), timeout=5)
+        send_frame(conn, {"kind": "hello", "worker": "pioneer",
+                          "protocol": PROTOCOL_VERSION, "schemes": extra})
+        assert recv_frame(conn)["kind"] == "welcome"
+        conn.close()
+    finally:
+        coordinator.close()
+
+
+def test_cluster_worker_surfaces_scheme_rejection(monkeypatch):
+    """A full ClusterWorker with stale scheme code reports the rejection
+    reason instead of pretending a clean drain."""
+    import repro.harness.cluster.worker as worker_module
+
+    coordinator = ClusterCoordinator(small_specs(), heartbeat_timeout=5.0)
+    coordinator.start()
+    try:
+        host, port = coordinator.address
+        stale = dict(scheme_wire_versions())
+        stale[sorted(stale)[0]] += 1
+        monkeypatch.setattr(worker_module, "scheme_wire_versions",
+                            lambda: stale)
+        worker = ClusterWorker(host, port, name="stale-build")
+        assert worker.run() == 0
+        assert worker.disconnected
+        assert "scheme version mismatch" in worker.last_error
     finally:
         coordinator.close()
 

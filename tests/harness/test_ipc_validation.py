@@ -1,0 +1,102 @@
+"""Per-scheme IPC validation against the registry's paper anchors.
+
+Each grid :class:`~repro.core.registry.SchemeSpec` carries
+``ipc_anchor`` — the paper's Figure 6 suite-mean IPC normalized to
+baseline at Mega (approximate by design).  The anchors are consumed as
+*relative ordering* ground truth, not point targets: this campaign
+smoke test runs one small cell per scheme and asserts the measured
+normalized IPCs respect the orderings the paper establishes —
+
+* the unsafe baseline is an upper bound for every secure scheme;
+* ``fence`` (delay everything) is a lower bound for every scheme;
+* selective delay recovers IPC over full delay (``nda`` <=
+  ``delay-on-miss``);
+* issue-time taint resolution beats rename-time's one-cycle-delayed
+  untaint broadcast (``stt-rename`` <= ``stt-issue``, Section 9.1).
+
+The cell (520.omnetpp at 0.25 scale, Mega) was picked because it
+differentiates every scheme: branchy with enough cache misses that
+delayed broadcasts, taint masking, and the full fence all bite.
+"""
+
+import pytest
+
+from repro.core.registry import get_spec, grid_scheme_names, secure_scheme_names
+from repro.harness.runner import CampaignRunner
+from repro.pipeline.config import MEGA
+
+#: Slack for measured-ordering assertions: normalized IPCs are exact
+#: (deterministic simulation), but a pair can tie on a small cell.
+EPS = 0.02
+
+BENCHMARK = "520.omnetpp"
+
+
+@pytest.fixture(scope="module")
+def normalized_ipc():
+    runner = CampaignRunner(scale=0.25, seed=2017, benchmarks=(BENCHMARK,),
+                            store=None)
+    baseline = runner.run(BENCHMARK, MEGA, "baseline")
+    assert baseline.ipc > 0
+    return {
+        scheme: runner.run(BENCHMARK, MEGA, scheme).ipc / baseline.ipc
+        for scheme in grid_scheme_names()
+    }
+
+
+def test_every_grid_scheme_declares_an_anchor():
+    for scheme in grid_scheme_names():
+        anchor = get_spec(scheme).ipc_anchor
+        assert anchor is not None, "%s has no Figure 6 anchor" % scheme
+        assert 0.0 < anchor <= 1.0, "%s anchor %r out of range" % (scheme,
+                                                                   anchor)
+    assert get_spec("baseline").ipc_anchor == 1.0
+
+
+def test_anchor_values_encode_the_paper_orderings():
+    """The registry's anchors must themselves tell the paper's story —
+    a later edit flipping two anchors should fail loudly here."""
+    anchor = {s: get_spec(s).ipc_anchor for s in grid_scheme_names()}
+    for scheme in secure_scheme_names():
+        assert anchor[scheme] < anchor["baseline"]
+        assert anchor["fence"] <= anchor[scheme]
+    assert anchor["nda"] < anchor["delay-on-miss"]
+    assert anchor["stt-rename"] < anchor["stt-issue"]
+
+
+def test_baseline_bounds_every_secure_scheme(normalized_ipc):
+    for scheme in secure_scheme_names():
+        assert normalized_ipc[scheme] <= 1.0 + EPS, (
+            "%s outperformed the unsafe baseline (%.3f)"
+            % (scheme, normalized_ipc[scheme])
+        )
+
+
+def test_fence_is_the_floor(normalized_ipc):
+    fence = normalized_ipc["fence"]
+    for scheme in secure_scheme_names():
+        if scheme == "fence":
+            continue
+        assert fence <= normalized_ipc[scheme] + EPS, (
+            "fence (%.3f) should bound %s (%.3f) from below"
+            % (fence, scheme, normalized_ipc[scheme])
+        )
+    # And the fence actually bites on this cell: a fence that costs
+    # nothing means the workload stopped exercising speculation.
+    assert fence < 0.9
+
+
+def test_selective_delay_recovers_ipc(normalized_ipc):
+    assert normalized_ipc["nda"] <= normalized_ipc["delay-on-miss"] + EPS, (
+        "delay-on-miss (%.3f) should recover IPC over NDA (%.3f)"
+        % (normalized_ipc["delay-on-miss"], normalized_ipc["nda"])
+    )
+
+
+def test_issue_time_taint_beats_rename_time(normalized_ipc):
+    assert (normalized_ipc["stt-rename"]
+            <= normalized_ipc["stt-issue"] + EPS), (
+        "stt-issue (%.3f) should not lose to stt-rename (%.3f): the"
+        " one-cycle broadcast lag is rename-side (Section 9.1)"
+        % (normalized_ipc["stt-issue"], normalized_ipc["stt-rename"])
+    )

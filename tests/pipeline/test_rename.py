@@ -40,6 +40,85 @@ def test_same_cycle_dependency_chains_through_rat():
     assert consumer.prs2 == producer.prd
 
 
+def _fresh_group(with_state=False):
+    """A group exercising every rename_group behaviour: same-cycle
+    chains, a branch checkpoint mid-group, x0 non-allocation, and a
+    post-branch writer the checkpoint must exclude."""
+    uops = [
+        make_uop(0, rd=5, rs1=1, rs2=2),
+        make_uop(1, rd=8, rs1=5, rs2=5),          # consumes uop 0 in-group
+        make_uop(2, op=Opcode.BEQ, rd=0, rs1=8, rs2=3),  # checkpoint here
+        make_uop(3, rd=5, rs1=8, rs2=4),          # re-renames x5 after branch
+    ]
+    for uop in uops:
+        uop.ghr_at_predict = ("ghr", uop.seq)
+    return uops
+
+
+def test_rename_group_matches_per_uop_composition():
+    """rename_group == rename_sources + rename_dest + create_checkpoint
+    applied strictly in program order, field for field — including the
+    mid-group checkpoint snapshot and identical free-list consumption."""
+    grouped = RenameUnit(64, 4)
+    serial = RenameUnit(64, 4)
+
+    group = _fresh_group()
+    grouped.rename_group(group)
+
+    reference = _fresh_group()
+    for uop in reference:
+        serial.rename_sources(uop)
+        if uop.writes_reg:
+            serial.rename_dest(uop)
+        if uop.instr.info.is_branch or uop.instr.op is Opcode.JALR:
+            serial.create_checkpoint(uop, uop.ghr_at_predict)
+
+    for got, want in zip(group, reference):
+        for field in ("prs1", "prs2", "prd", "stale_prd", "checkpoint_id"):
+            assert getattr(got, field) == getattr(want, field), (
+                "uop %d field %s diverged" % (got.seq, field))
+    assert grouped.rat == serial.rat
+    assert list(grouped.free_list) == list(serial.free_list)
+    got_cp = grouped.get_checkpoint(group[2].checkpoint_id)
+    want_cp = serial.get_checkpoint(reference[2].checkpoint_id)
+    assert got_cp.rat == want_cp.rat
+    assert got_cp.branch_seq == want_cp.branch_seq
+    # The snapshot sees uops 0-1's allocations but not uop 3's.
+    assert got_cp.rat[5] == group[0].prd
+    assert got_cp.rat[8] == group[1].prd
+    assert grouped.rat[5] == group[3].prd != group[0].prd
+
+
+def test_rename_group_marks_destinations_not_ready():
+    """The fused reg_state pass: every allocated destination goes
+    NOT_READY, and nothing else is touched."""
+    from repro.pipeline.regfile import NOT_READY, READY, PhysRegFile
+
+    rename = RenameUnit(64, 4)
+    prf = PhysRegFile(64)
+    group = _fresh_group()
+    rename.rename_group(group, prf.state)
+    allocated = {uop.prd for uop in group if uop.prd is not None}
+    assert allocated  # the group writes registers
+    for preg in range(64):
+        expected = NOT_READY if preg in allocated else READY
+        assert prf.state[preg] == expected, "preg %d" % preg
+
+
+def test_rename_group_consumes_exactly_the_writers():
+    """The group pass pops exactly one free register per destination
+    writer, in sequential order — no over- or under-allocation."""
+    rename = RenameUnit(64, 4)
+    group = _fresh_group()
+    writers = sum(1 for uop in group
+                  if uop.instr.info.writes_rd and uop.instr.rd != 0)
+    before = list(rename.free_list)
+    rename.rename_group(group)
+    assert rename.free_regs() == len(before) - writers
+    allocated = [uop.prd for uop in group if uop.prd is not None]
+    assert allocated == before[:writers]  # same pop order as rename_dest
+
+
 def test_checkpoint_restore_recovers_rat_and_free_list():
     rename = RenameUnit(64, 4)
     branch = make_uop(0, op=Opcode.BEQ, rd=0, rs1=1, rs2=2)

@@ -1,0 +1,186 @@
+"""Micro-op pool: reset completeness, recycling, and recovery safety.
+
+The pool's correctness argument (see :mod:`repro.pipeline.uop`) rests
+on ``reset`` restoring *every* field a fresh construction would — a
+stale field surviving into a recycled micro-op's next life is exactly
+the class of bug object pooling invites.  The fuzz test below is
+structural: it derives the field list from ``MicroOp.__slots__``, so a
+newly added slot that ``reset`` forgets fails the suite immediately.
+
+The behavioural tests exercise the two recovery paths that return
+micro-ops to the pool in bulk — checkpoint-restore squashes and
+full-pipeline ordering-violation flushes — and pin the architectural
+result against the in-order reference interpreter while asserting the
+pool actually recycled (bounded fresh allocations).
+"""
+
+import pytest
+
+from repro import OoOCore, make_scheme, run_reference
+from repro.isa.instructions import Instruction, Opcode
+from repro.pipeline.config import MEGA, SMALL
+from repro.pipeline.uop import MicroOp, MicroOpPool
+from repro.workloads.generator import WorkloadProfile, generate_program
+from repro.workloads.kernels import chase_kernel, forwarding_kernel
+
+#: Slots whose post-reset value intentionally differs from a fresh
+#: construction: ``gen`` is monotonic across lives (stale-event guard),
+#: ``in_pool`` is owned by the pool, not by reset.
+RESET_EXEMPT = ("gen", "in_pool")
+
+_INSTRS = (
+    Instruction(Opcode.ADD, rd=3, rs1=1, rs2=2),
+    Instruction(Opcode.LW, rd=4, rs1=2, imm=16),
+    Instruction(Opcode.SW, rs1=2, rs2=3, imm=8),
+    Instruction(Opcode.BEQ, rs1=1, rs2=2, imm=7),
+    Instruction(Opcode.JALR, rd=1, rs1=5, imm=0),
+)
+
+#: Garbage values per slot, varied by index so two slots can never
+#: mask each other by holding the same junk.
+_GARBAGE = (object(), "stale", -12345, {7: 7}, [9], 3.25, True, frozenset())
+
+
+def _trash_every_slot(uop, salt=0):
+    for index, name in enumerate(MicroOp.__slots__):
+        if name == "in_pool":
+            continue  # pool-owned; preserved across reset by contract
+        setattr(uop, name, _GARBAGE[(index + salt) % len(_GARBAGE)])
+
+
+@pytest.mark.parametrize("instr", _INSTRS, ids=lambda i: i.op.name)
+def test_reset_restores_every_slot(instr):
+    """reset() == __init__ for every slot, whatever the previous life.
+
+    Trash every slot with garbage, reset, and diff attribute-by-
+    attribute against a freshly constructed micro-op for the same
+    dynamic instruction.  Structural: iterates ``__slots__``, so a new
+    field that reset() misses fails here before it can leak state
+    between lives.
+    """
+    for salt in range(len(_GARBAGE)):
+        recycled = MicroOp(1, 2, _INSTRS[0], 3)
+        _trash_every_slot(recycled, salt=salt)
+        recycled.gen = 41  # garbage pass clobbered it; make it an int
+        recycled.reset(7, 11, instr, fetch_cycle=5)
+
+        fresh = MicroOp(7, 11, instr, fetch_cycle=5)
+        for name in MicroOp.__slots__:
+            if name in RESET_EXEMPT:
+                continue
+            assert getattr(recycled, name) == getattr(fresh, name), (
+                "slot %r survived recycling with a stale value "
+                "(salt %d)" % (name, salt)
+            )
+
+
+def test_reset_bumps_generation_monotonically():
+    """Stale events snapshot (uop, gen); a recycled life must never
+    match a previous life's snapshot."""
+    instr = _INSTRS[0]
+    uop = MicroOp(0, 0, instr)
+    seen = {uop.gen}
+    for life in range(1, 5):
+        uop.kill()  # a squash also bumps gen
+        seen.add(uop.gen)
+        uop.reset(life, 0, instr)
+        assert not uop.killed
+        assert uop.gen not in (seen - {uop.gen}), "generation reused"
+        seen.add(uop.gen)
+    assert len(seen) == 9  # 1 initial + 4 kills + 4 resets, all distinct
+
+
+def test_pool_release_is_idempotent():
+    pool = MicroOpPool()
+    uop = pool.acquire(0, 0, _INSTRS[0])
+    assert pool.allocated == 1
+    pool.release(uop)
+    pool.release(uop)  # double release (commit sweep + scheme path)
+    assert len(pool) == 1
+    again = pool.acquire(1, 0, _INSTRS[0])
+    assert again is uop
+    assert not again.in_pool
+    assert len(pool) == 0
+    # release_all absorbs already-parked members too.
+    other = pool.acquire(2, 0, _INSTRS[0])
+    pool.release(other)
+    pool.release_all([again, other])
+    assert len(pool) == 2
+
+
+def _assert_matches_reference(core, program):
+    reference = run_reference(program, max_steps=2_000_000)
+    result = core.run()
+    for reg in range(32):
+        assert result.regs[reg] == reference.state.read_reg(reg), (
+            "x%d diverged under recycling" % reg
+        )
+    ref_memory = {a: v for a, v in reference.state.memory.items() if v != 0}
+    got_memory = {a: v for a, v in result.memory.items() if v != 0}
+    assert got_memory == ref_memory
+    return result
+
+
+def _assert_pool_sane(core):
+    pool = core._uop_pool
+    free = pool._free
+    assert len(set(map(id, free))) == len(free), "pool holds duplicates"
+    assert all(uop.in_pool for uop in free)
+    # Allocations are bounded by the in-flight maximum, not the dynamic
+    # instruction count: that bound is the whole point of the pool.
+    in_flight_bound = (core.config.rob_entries + core.config.width
+                       + core.config.fetch_buffer_entries)
+    assert pool.allocated <= in_flight_bound
+    return pool
+
+
+@pytest.mark.parametrize("config", (SMALL, MEGA), ids=lambda c: c.name)
+def test_pool_recycles_through_flushes(config):
+    """Full-pipeline ordering-violation flushes return the whole ROB to
+    the pool; the architectural result stays exact."""
+    program = forwarding_kernel(iterations=24, slots=8, array_words=256)
+    core = OoOCore(program, config=config, scheme=make_scheme("stt-rename"))
+    result = _assert_matches_reference(core, program)
+    assert result.stats.order_violation_flushes > 0, (
+        "workload no longer exercises the flush path"
+    )
+    pool = _assert_pool_sane(core)
+    assert pool.allocated < result.stats.committed_instructions, (
+        "no recycling happened: every dynamic uop was a fresh allocation"
+    )
+
+
+@pytest.mark.parametrize("scheme", ("baseline", "nda", "delay-on-miss"))
+def test_pool_recycles_through_checkpoint_squashes(scheme):
+    """Mispredict squashes (checkpoint restore) recycle the squashed
+    suffix — including under delayed-broadcast schemes, whose recovery
+    hook must drop its own references first."""
+    program = generate_program(
+        WorkloadProfile(name="squashy", iterations=12, body_templates=6,
+                        body_blocks=3, working_set_words=256, ring_words=32,
+                        scratch_words=16, branch_entropy=0.9,
+                        branch_on_load=0.8),
+        seed=11,
+    )
+    core = OoOCore(program, config=MEGA, scheme=make_scheme(scheme))
+    result = _assert_matches_reference(core, program)
+    assert result.stats.squashed_uops > 0, "workload never squashed"
+    pool = _assert_pool_sane(core)
+    assert pool.allocated < result.stats.committed_instructions
+
+
+def test_pool_bounds_allocation_on_long_runs():
+    """Steady-state allocation count is flat: doubling the dynamic
+    instruction count must not grow fresh allocations."""
+    def allocated_for(iterations):
+        program = chase_kernel(iterations=iterations, ring_words=64)
+        core = OoOCore(program, config=MEGA, scheme=make_scheme("baseline"))
+        core.run()
+        return core._uop_pool.allocated
+
+    short = allocated_for(30)
+    long = allocated_for(60)
+    assert long == short, (
+        "fresh allocations grew with run length (%d -> %d): recycling "
+        "is not engaging in steady state" % (short, long)
+    )
