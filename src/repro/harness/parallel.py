@@ -25,7 +25,7 @@ import os
 
 from repro.core.factory import make_scheme
 from repro.pipeline.core import OoOCore
-from repro.workloads.program_cache import cached_spec_program
+from repro.workloads.program_cache import cached_spec_program, cached_spec_trace
 
 
 def default_jobs():
@@ -38,14 +38,21 @@ def simulate_cell(spec):
 
     Top-level (not nested) so it is picklable by multiprocessing.
     Raises ``KeyError`` for unknown benchmark names.
+
+    The workload's canonical dynamic trace rides along with the program
+    (same content-addressed cache, same disk directory), so every cell
+    of a benchmark — across schemes, configs, processes, and cluster
+    workers — replays one recording instead of re-evaluating per uop.
     """
     benchmark, config, scheme_name, scheme_kwargs, scale, seed = spec
     program = cached_spec_program(benchmark, scale=scale, seed=seed)
+    trace = cached_spec_trace(benchmark, scale=scale, seed=seed)
     core = OoOCore(
         program,
         config=config,
         scheme=make_scheme(scheme_name, **dict(scheme_kwargs or {})),
         warm_caches=True,
+        trace=trace,
     )
     return core.run()
 

@@ -1,0 +1,216 @@
+"""Canonical dynamic traces: functional-execute once, replay everywhere.
+
+A :class:`DynamicTrace` is the architectural execution of one program,
+recorded once by driving the :class:`~repro.isa.interp.ReferenceInterpreter`
+to completion and kept in compact array-of-columns form — one entry per
+retired instruction (the *trace step*):
+
+``pcs``
+    the PC of each step (``pcs[0] == program.entry``);
+``next_pcs``
+    the architectural successor PC — for branches this encodes the
+    outcome's target, for JALR the computed indirect target, for the
+    final HALT step the halt PC itself;
+``results``
+    the value written to the destination register (0 for steps that
+    write nothing, including ``rd == x0``);
+``addrs``
+    the effective (unsigned-64) address of each load/store step
+    (0 elsewhere);
+``taken``
+    one byte per step: 1 iff the step is a taken conditional branch
+    (recorded explicitly — ``next_pc`` alone is ambiguous when a
+    branch's target equals its fall-through);
+``l1_hit``
+    one byte per step: 1 iff a load's access hit a default-geometry L1
+    warmed in *commit order*.  **Advisory only** — the pipeline's live
+    :class:`~repro.memsys.hierarchy.MemoryHierarchy` stays authoritative
+    for timing, because wrong-path accesses and the prefetcher make the
+    commit-order classification unusable cycle-accurately.  The column
+    exists for trace consumers (analysis tooling, future schedulers)
+    that want a microarchitecture-independent locality signal.
+
+The timing pipeline (:mod:`repro.pipeline.core`) consumes the trace via
+per-uop ``trace_index`` positions maintained by the fetch unit; the
+replay contract — when a recorded outcome may substitute for in-line
+evaluation, and the purity tracking that guards it — is documented in
+the core's module docstring.
+
+Traces are content-addressed and disk-persisted next to generated
+programs; see :mod:`repro.workloads.program_cache`.
+"""
+
+import base64
+
+from repro.isa.instructions import Opcode
+from repro.isa.interp import ReferenceInterpreter, branch_taken, to_unsigned64
+from repro.memsys.hierarchy import MemConfig, MemoryHierarchy
+
+#: Bumped whenever the recorded column semantics change; participates in
+#: the trace cache key (see workloads.program_cache.trace_key) so stale
+#: on-disk traces can never be replayed by a newer pipeline.
+TRACE_FORMAT_VERSION = "trace-v1"
+
+
+class DynamicTrace:
+    """Column-oriented record of one program's architectural execution."""
+
+    __slots__ = ("program_name", "program_len", "entry",
+                 "pcs", "next_pcs", "results", "addrs", "taken", "l1_hit")
+
+    def __init__(self, program_name, program_len, entry,
+                 pcs, next_pcs, results, addrs, taken, l1_hit):
+        self.program_name = program_name
+        self.program_len = program_len
+        self.entry = entry
+        self.pcs = pcs
+        self.next_pcs = next_pcs
+        self.results = results
+        self.addrs = addrs
+        self.taken = taken
+        self.l1_hit = l1_hit
+
+    def __len__(self):
+        return len(self.pcs)
+
+    def check_program(self, program):
+        """Light sanity check that ``program`` is the recorded one.
+
+        Raises ``ValueError`` on mismatch.  Deliberately cheap (entry,
+        length, first PC): real identity comes from the content-addressed
+        cache key; this only catches grossly-wrong wiring (e.g. a trace
+        attached to a different workload).
+        """
+        if (self.entry != program.entry
+                or self.program_len != len(program)
+                or (self.pcs and self.pcs[0] != program.entry)):
+            raise ValueError(
+                "trace/program mismatch: trace recorded for %r "
+                "(entry %d, %d instructions), got %r (entry %d, %d)"
+                % (self.program_name, self.entry, self.program_len,
+                   program.name, program.entry, len(program)))
+
+    # -- serialisation ----------------------------------------------------
+
+    def to_payload(self):
+        """JSON-serialisable form (see :meth:`from_payload`)."""
+        return {
+            "format_version": TRACE_FORMAT_VERSION,
+            "program_name": self.program_name,
+            "program_len": self.program_len,
+            "entry": self.entry,
+            "pcs": list(self.pcs),
+            "next_pcs": list(self.next_pcs),
+            "results": list(self.results),
+            "addrs": list(self.addrs),
+            "taken": base64.b64encode(bytes(self.taken)).decode("ascii"),
+            "l1_hit": base64.b64encode(bytes(self.l1_hit)).decode("ascii"),
+        }
+
+    @classmethod
+    def from_payload(cls, payload):
+        """Rebuild a trace from :meth:`to_payload` output.
+
+        Raises ``ValueError`` for a different format version, so stale
+        persisted traces fall back to re-recording.
+        """
+        if payload.get("format_version") != TRACE_FORMAT_VERSION:
+            raise ValueError(
+                "trace format %r != %r"
+                % (payload.get("format_version"), TRACE_FORMAT_VERSION))
+        trace = cls(
+            program_name=payload["program_name"],
+            program_len=payload["program_len"],
+            entry=payload["entry"],
+            pcs=list(payload["pcs"]),
+            next_pcs=list(payload["next_pcs"]),
+            results=list(payload["results"]),
+            addrs=list(payload["addrs"]),
+            taken=bytearray(base64.b64decode(payload["taken"])),
+            l1_hit=bytearray(base64.b64decode(payload["l1_hit"])),
+        )
+        n = len(trace.pcs)
+        if not all(len(col) == n for col in (
+                trace.next_pcs, trace.results, trace.addrs,
+                trace.taken, trace.l1_hit)):
+            raise ValueError("trace columns have inconsistent lengths")
+        return trace
+
+
+def record_trace(program, mem_config=None, max_steps=5_000_000):
+    """Record ``program``'s canonical dynamic trace (one full run).
+
+    Drives the reference interpreter to halt, capturing each step's
+    outcome *before and after* the step: branch directions and memory
+    addresses come from the pre-step register state (exactly what the
+    pipeline computes at resolve/agen time), results and successor PCs
+    from the post-step state.  The advisory L1 column classifies each
+    load against a ``mem_config`` (default geometry) hierarchy accessed
+    in commit order — stores access it too (write, no prefetcher
+    training), mirroring the pipeline's commit-time accesses.
+    """
+    interp = ReferenceInterpreter(program)
+    state = interp.state
+    hierarchy = MemoryHierarchy(mem_config or MemConfig())
+    l1_latency = hierarchy.config.l1_latency
+    read_reg = state.read_reg
+
+    pcs = []
+    next_pcs = []
+    results = []
+    addrs = []
+    taken = bytearray()
+    l1_hit = bytearray()
+
+    steps = 0
+    while not state.halted:
+        if steps >= max_steps:
+            raise RuntimeError(
+                "program %r did not halt within %d steps while recording"
+                % (program.name, max_steps))
+        pc = state.pc
+        instr = program[pc]
+        op = instr.op
+        info = instr.info
+
+        t = 0
+        hit = 0
+        addr = 0
+        if info.is_load:
+            addr = to_unsigned64(read_reg(instr.rs1) + instr.imm)
+            latency, _level = hierarchy.access(addr, pc=pc)
+            hit = 1 if latency <= l1_latency else 0
+        elif info.is_store:
+            addr = to_unsigned64(read_reg(instr.rs1) + instr.imm)
+            hierarchy.access(addr, pc=pc, is_write=True,
+                             train_prefetcher=False)
+        elif info.is_branch:
+            t = 1 if branch_taken(op, read_reg(instr.rs1),
+                                  read_reg(instr.rs2)) else 0
+
+        interp.step()
+
+        result = 0
+        if info.writes_rd and instr.rd != 0:
+            result = state.regs[instr.rd]
+        pcs.append(pc)
+        # The final HALT step records its own PC (the interpreter keeps
+        # the PC parked there); the replayer never advances past it.
+        next_pcs.append(state.pc)
+        results.append(result)
+        addrs.append(addr)
+        taken.append(t)
+        l1_hit.append(hit)
+        steps += 1
+
+    return DynamicTrace(
+        program_name=program.name,
+        program_len=len(program),
+        entry=program.entry,
+        pcs=pcs,
+        next_pcs=next_pcs,
+        results=results,
+        addrs=addrs,
+        taken=taken,
+        l1_hit=l1_hit,
+    )

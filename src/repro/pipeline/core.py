@@ -8,6 +8,45 @@ state must (and, per the test suite, does) match the in-order
 reference interpreter exactly, for every scheme, despite speculation,
 squashes, replays, and ordering-violation flushes.
 
+**Trace replay.**  Passing a recorded
+:class:`~repro.isa.trace.DynamicTrace` (``trace=``) turns the core
+into a timing replayer: on-trace micro-ops read their execution
+outcome — ALU results, branch directions and targets, load/store
+effective addresses — from the trace columns instead of evaluating
+them, eliminating the per-uop functional work from the hot loop.
+Replay is *opportunistic and bit-exact*, never approximate:
+
+* The fetch unit tracks the stream's trace position
+  (:class:`~repro.pipeline.fetch.FetchUnit`); each micro-op carries
+  ``trace_index`` (-1 = wrong path).  Squash recovery re-enters the
+  trace when the mispredicted branch was on-trace and its actual
+  target matches the recorded successor; a full flush re-enters at the
+  ROB head's own position.
+* A per-physical-register *purity* bit tracks whether the register's
+  current value provably equals the architectural value of its
+  on-trace producer.  A recorded outcome substitutes only when the
+  micro-op is on-trace AND every source register is pure; otherwise
+  the in-line evaluator runs (the wrong-path fallback the trace
+  design requires) and the destination is marked impure.  Purity is
+  re-established exactly at value-write sites, which is sound because
+  spec-wakeup kills (priority 0) precede every same-cycle
+  completion/agen, so no handler ever reads an unwritten register.
+* Loads never take *values* from the trace: the live memory image and
+  store-queue forwarding remain authoritative, so stale-read
+  transients (ordering violations, Section 9.2) reproduce exactly.  A
+  load's value is pure only when its address is pure, no older store
+  address is unresolved or impure (an impure address could mask real
+  aliasing), and its forwarding source (if any) is itself pure.
+* The recorded L1 hit/miss column is advisory only; the live
+  :class:`~repro.memsys.hierarchy.MemoryHierarchy` decides latency
+  (wrong-path pollution and prefetching are timing-relevant and
+  scheme-visible).
+
+With no trace attached the core is exactly the pre-replay functional
+machine; with one attached, every stat, register, and memory word is
+byte-identical (the golden fixture asserts this with replay on and
+off).
+
 Per-cycle phase order (chosen so values flow like bypass networks):
 
 1. **commit** — retire completed micro-ops in order; ordering
@@ -219,6 +258,7 @@ class OoOCore:
         max_cycles=5_000_000,
         watchdog_cycles=50_000,
         warm_caches=False,
+        trace=None,
     ):
         self.program = program
         program.validate()
@@ -266,7 +306,30 @@ class OoOCore:
         self.shadows = ShadowTracker()
         self.predictor = make_predictor(cfg.branch_predictor)
         self.btb = BranchTargetBuffer(cfg.btb_entries)
-        self.fetch = FetchUnit(self, program, self.predictor, self.btb)
+        # Trace replay (see the module docstring): the recorded outcome
+        # columns plus the per-physical-register purity bitmap.  All
+        # None / absent when no trace is attached — every replay site
+        # gates on ``self._pure is not None`` and costs the functional
+        # machine nothing.
+        if trace is not None:
+            trace.check_program(program)
+            pure = bytearray(cfg.num_phys_regs)
+            for preg in range(NUM_ARCH_REGS):
+                # Initial identity mappings hold architectural values.
+                pure[preg] = 1
+            self._pure = pure
+            self._tr_next = trace.next_pcs
+            self._tr_results = trace.results
+            self._tr_addrs = trace.addrs
+            self._tr_taken = trace.taken
+        else:
+            self._pure = None
+            self._tr_next = None
+            self._tr_results = None
+            self._tr_addrs = None
+            self._tr_taken = None
+        self.fetch = FetchUnit(self, program, self.predictor, self.btb,
+                               trace=trace)
         # Resolve the predictor-training entry points once instead of
         # re-dispatching via hasattr per committed branch.
         self._predictor_update = self.predictor.update
@@ -647,9 +710,21 @@ class OoOCore:
     def _ev_complete_alu(self, uop, _payload=None):
         instr = uop.instr
         op = instr.op
-        values = self.prf.values
         prs1 = uop.prs1
         prs2 = uop.prs2
+        pure = self._pure
+        if pure is not None:
+            # Replay gate: on-trace with provably-architectural sources
+            # means the recorded outcome is this uop's outcome.
+            if (
+                uop.trace_index >= 0
+                and (prs1 is None or pure[prs1])
+                and (prs2 is None or pure[prs2])
+            ):
+                self._replay_complete(uop, op, uop.trace_index)
+                return
+
+        values = self.prf.values
         a = values[prs1] if prs1 is not None else 0
         b = values[prs2] if prs2 is not None else 0
 
@@ -669,8 +744,45 @@ class OoOCore:
             uop.result = evaluate_alu(op, a, b, instr.imm)
 
         if uop.prd is not None:
+            if pure is not None:
+                # Functional fallback ran: off-trace or impure inputs —
+                # the value may differ from the trace column.
+                pure[uop.prd] = 0
             self.prf.write(uop.prd, uop.result)
             self.iq.confirm_spec(uop.prd)
+        uop.completed = True
+        uop.complete_cycle = self.cycle
+
+    def _replay_complete(self, uop, op, ti):
+        """Complete an on-trace, pure-source uop from the trace columns.
+
+        Bit-identical to the functional path by the purity invariant:
+        the sources hold their architectural values, so the evaluator
+        would compute exactly the recorded result / direction / target.
+        Control resolution (and mis-speculation handling) is unchanged —
+        only the *evaluation* is skipped.
+        """
+        if uop.op_is_branch:
+            taken = self._tr_taken[ti] == 1
+            uop.taken = taken
+            uop.actual_target = self._tr_next[ti]
+            self._resolve_control(uop, taken != uop.pred_taken)
+        elif op is Opcode.JALR:
+            uop.actual_target = self._tr_next[ti]
+            uop.result = uop.pc + 1
+            self._resolve_control(uop, uop.actual_target != uop.pred_target)
+        elif op is Opcode.JAL:
+            uop.result = uop.pc + 1
+        elif op is Opcode.NOP or op is Opcode.HALT:
+            uop.result = 0
+        else:
+            uop.result = self._tr_results[ti]
+
+        prd = uop.prd
+        if prd is not None:
+            self._pure[prd] = 1
+            self.prf.write(prd, uop.result)
+            self.iq.confirm_spec(prd)
         uop.completed = True
         uop.complete_cycle = self.cycle
 
@@ -692,8 +804,17 @@ class OoOCore:
 
     def _ev_store_addr(self, uop, _payload=None):
         prs1 = uop.prs1
-        base = self.prf.values[prs1] if prs1 is not None else 0
-        uop.address = to_unsigned64(base + uop.instr.imm)
+        pure = self._pure
+        if (
+            pure is not None
+            and uop.trace_index >= 0
+            and (prs1 is None or pure[prs1])
+        ):
+            uop.address = self._tr_addrs[uop.trace_index]
+            uop.addr_pure = True
+        else:
+            base = self.prf.values[prs1] if prs1 is not None else 0
+            uop.address = to_unsigned64(base + uop.instr.imm)
         uop.addr_done = True
         self.lsu.store_addr_ready(uop, self.cycle)
         if uop.data_done:
@@ -702,7 +823,15 @@ class OoOCore:
 
     def _ev_store_data(self, uop, _payload=None):
         prs2 = uop.prs2
+        # The stored value itself always comes from the register file —
+        # stores feed the live memory image, which stays authoritative —
+        # but its purity is tracked so forwarded loads know whether the
+        # value they received is architectural.
         uop.mem_value = self.prf.values[prs2] if prs2 is not None else 0
+        pure = self._pure
+        if pure is not None:
+            uop.val_pure = uop.trace_index >= 0 and (
+                prs2 is None or pure[prs2] == 1)
         uop.data_done = True
         self.lsu.store_data_ready(uop, self.cycle)
         if uop.addr_done:
@@ -715,6 +844,12 @@ class OoOCore:
         uop.completed = True
         uop.complete_cycle = self.cycle
         if uop.prd is not None:
+            pure = self._pure
+            if pure is not None:
+                # Loads never take values from the trace (stale-read
+                # transients must reproduce); the LSU decided whether
+                # this value is provably architectural.
+                pure[uop.prd] = 1 if uop.val_pure else 0
             self.prf.write_value_only(uop.prd, value)
             hook = self._scheme_on_load_complete
             if hook is None or hook(uop, self.cycle):
@@ -934,6 +1069,11 @@ class OoOCore:
                 uop = pool_free.pop()
                 uop.in_pool = False
                 uop.reset(next_seq, entry.pc, instr, entry.fetch_cycle)
+                if is_load or is_store:
+                    # Only memory uops read the cold memory-side slots;
+                    # everything else skips their re-arm (see the slot
+                    # partition in repro.pipeline.uop).
+                    uop.reset_mem()
             else:
                 uop = MicroOp(next_seq, entry.pc, instr, entry.fetch_cycle)
                 pool.allocated += 1
@@ -943,6 +1083,7 @@ class OoOCore:
             uop.pred_taken = entry.pred_taken
             uop.pred_target = entry.pred_target
             uop.ghr_at_predict = entry.ghr_before
+            uop.trace_index = entry.trace_index
             entry_pool.append(entry)
             group.append(uop)
             n += 1
@@ -969,12 +1110,21 @@ class OoOCore:
 
         # ---- one in-order RAT pass over the whole group --------------
         # The pass also marks the allocated destinations not-ready
-        # (mark_alloc_group fused in via reg_state).
-        rename.rename_group(group, self.prf.state)
+        # (mark_alloc_group fused in via reg_state).  1-uop groups —
+        # the steady state of low-IPC cells (fence serialisation,
+        # chronic mispredicts) — take the dedicated solo path and skip
+        # the group-iteration overhead entirely.
+        if n == 1:
+            solo = group[0]
+            rename.rename_solo(solo, self.prf.state)
+            self.rob.append(solo)
+            self.iq.add(solo)
+        else:
+            rename.rename_group(group, self.prf.state)
 
-        # ---- batched downstream admission ----------------------------
-        self.rob.extend(group)
-        self.iq.add_group(group)
+            # ---- batched downstream admission ------------------------
+            self.rob.extend(group)
+            self.iq.add_group(group)
 
         # ---- scheme hook: one call per group -------------------------
         hook = self._scheme_on_rename_group
@@ -1021,8 +1171,25 @@ class OoOCore:
             self.predictor.push_history(uop.taken)
         self.scheme.on_checkpoint_restore(uop, checkpoint)
 
+        # Trace re-entry: a squash recovers onto the trace only when the
+        # mispredicting uop was itself on-trace and its resolved target
+        # is the recorded architectural successor — then the next fetch
+        # is provably the next trace step.  (The target check matters
+        # for replayed control: an off-path resolution of an on-trace
+        # branch would otherwise relabel wrong-path fetches.)
+        pos = -1
+        tr_next = self._tr_next
+        if tr_next is not None:
+            ti = uop.trace_index
+            if (
+                ti >= 0
+                and ti + 1 < len(tr_next)
+                and uop.actual_target == tr_next[ti]
+            ):
+                pos = ti + 1
         self.fetch.redirect(
-            uop.actual_target, self.cycle + 1 + self.config.redirect_penalty
+            uop.actual_target, self.cycle + 1 + self.config.redirect_penalty,
+            trace_pos=pos,
         )
         self.stats.squashed_uops += len(squashed)
         # The visibility point may have advanced (squashed shadows).
@@ -1050,7 +1217,12 @@ class OoOCore:
         self.rename.flush_all()
         self.scheme.on_flush_all()
         self._pending_squash = None
-        self.fetch.redirect(head.pc, self.cycle + 1 + self.config.redirect_penalty)
+        # The flush refetches the (committed-state) head itself: its own
+        # trace position, if any, is exactly where the stream re-enters.
+        self.fetch.redirect(
+            head.pc, self.cycle + 1 + self.config.redirect_penalty,
+            trace_pos=head.trace_index if self._tr_next is not None else -1,
+        )
         vp = self.shadows.visibility_point()
         self.vp_now = self.next_seq if vp is None else vp
         # Commit made no progress this cycle, but the flush is progress.

@@ -19,6 +19,18 @@ front end allocates nothing.
 :meth:`FetchUnit.fetch_wake_cycle` exposes the fetch side's next
 activity cycle to the core's idle-cycle fast-forward: cycles strictly
 before it are guaranteed fetch no-ops.
+
+**Trace-position tracking.**  When the core runs against a recorded
+:class:`~repro.isa.trace.DynamicTrace`, the fetch unit labels every
+fetched entry with its position in the trace (``trace_index``; -1 =
+off-trace / wrong path).  The position advances with predicted control
+flow: unconditional steps (plain ops, JAL) advance by construction;
+predicted branches and JALRs advance only while the predicted successor
+matches the trace's architectural successor, and drop to -1 at the
+first divergence — the fetch stream beyond that point is wrong-path and
+will be squashed.  :meth:`FetchUnit.redirect` accepts the recovery
+position computed by the core's squash/flush handlers, which is how the
+stream re-enters the trace after a misprediction.
 """
 
 from collections import deque
@@ -49,6 +61,7 @@ class FetchEntry:
         "pred_taken",
         "pred_target",
         "ghr_before",
+        "trace_index",
     )
 
     def __init__(self, pc, instr, fetch_cycle):
@@ -62,12 +75,13 @@ class FetchEntry:
         self.pred_taken = False
         self.pred_target = None
         self.ghr_before = None
+        self.trace_index = -1
 
 
 class FetchUnit:
     """Program counter, predictor interface, and the fetch buffer."""
 
-    def __init__(self, core, program, predictor, btb):
+    def __init__(self, core, program, predictor, btb, trace=None):
         self.core = core
         self.config = core.config
         self.program = program
@@ -79,6 +93,10 @@ class FetchUnit:
         self.halted = False
         # Recycled FetchEntry objects (bounded by the buffer size).
         self._entry_pool = []
+        # Trace replay: architectural successor column and the current
+        # fetch-stream position within the trace (-1 = off-trace).
+        self._tr_next = trace.next_pcs if trace is not None else None
+        self.trace_pos = 0 if trace is not None else -1
 
     # -- per-cycle fetch -----------------------------------------------------
 
@@ -92,11 +110,14 @@ class FetchUnit:
         buffer_limit = self.config.fetch_buffer_entries
         stats = self.core.stats
         entry_pool = self._entry_pool
+        tr_next = self._tr_next
+        pos = self.trace_pos
         while budget > 0 and len(queue) < buffer_limit:
             if not 0 <= self.fetch_pc < program_len:
                 # Wrong-path fetch ran off the program; wait for the
                 # inevitable squash to redirect us.
                 self.halted = True
+                self.trace_pos = pos
                 return
             pc = self.fetch_pc
             instr = program[pc]
@@ -111,13 +132,17 @@ class FetchUnit:
                 entry.ghr_before = None
             else:
                 entry = FetchEntry(pc, instr, cycle)
+            entry.trace_index = pos
             stats.fetched_instructions += 1
             budget -= 1
 
             op = instr.op
             if op is Opcode.HALT:
+                # The halt step never advances the position: the trace
+                # parks there too (its successor is itself).
                 queue.append(entry)
                 self.halted = True
+                self.trace_pos = pos
                 return
 
             if instr.info.is_branch:
@@ -127,7 +152,14 @@ class FetchUnit:
                 entry.pred_target = instr.imm if taken else pc + 1
                 queue.append(entry)
                 self.fetch_pc = entry.pred_target
+                if pos >= 0:
+                    # Stay on-trace only while prediction matches the
+                    # architectural successor; a divergence here is a
+                    # misprediction-to-be — everything fetched beyond
+                    # it is wrong path until the squash recovers us.
+                    pos = pos + 1 if entry.pred_target == tr_next[pos] else -1
                 if taken:
+                    self.trace_pos = pos
                     return  # taken control ends the fetch group
                 continue
 
@@ -136,6 +168,9 @@ class FetchUnit:
                 entry.pred_target = instr.imm
                 queue.append(entry)
                 self.fetch_pc = instr.imm
+                if pos >= 0:
+                    pos += 1  # unconditional: predicted == architectural
+                self.trace_pos = pos
                 return
 
             if op is Opcode.JALR:
@@ -145,10 +180,16 @@ class FetchUnit:
                 entry.pred_target = predicted if predicted is not None else pc + 1
                 queue.append(entry)
                 self.fetch_pc = entry.pred_target
+                if pos >= 0:
+                    pos = pos + 1 if entry.pred_target == tr_next[pos] else -1
+                self.trace_pos = pos
                 return
 
             queue.append(entry)
             self.fetch_pc = pc + 1
+            if pos >= 0:
+                pos += 1  # plain op: fall-through == architectural
+        self.trace_pos = pos
 
     # -- rename-side interface ---------------------------------------------------
 
@@ -183,8 +224,14 @@ class FetchUnit:
 
     # -- recovery ------------------------------------------------------------------
 
-    def redirect(self, pc, resume_cycle):
-        """Squash the buffer and restart fetch at ``pc``."""
+    def redirect(self, pc, resume_cycle, trace_pos=-1):
+        """Squash the buffer and restart fetch at ``pc``.
+
+        ``trace_pos`` is the trace position of the redirect target —
+        the core's recovery paths compute it when the redirect provably
+        re-enters the recorded stream, and pass -1 (off-trace) in every
+        other case, including when no trace is attached.
+        """
         queue = self.queue
         if queue:
             self._entry_pool.extend(queue)
@@ -192,3 +239,4 @@ class FetchUnit:
         self.fetch_pc = pc
         self.stalled_until = resume_cycle
         self.halted = False
+        self.trace_pos = trace_pos

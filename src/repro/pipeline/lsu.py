@@ -47,11 +47,15 @@ class LoadStoreUnit:
         self.ldq = deque()
         self.stq = deque()
         self._l1_latency = core.config.mem.l1_latency
-        #: store seq -> loads waiting to forward from it (data pending).
-        #: Entries go stale on squash/replay and are filtered at wake.
+        #: store seq -> (load, gen) pairs waiting to forward from it
+        #: (data pending).  Registrations are generation-stamped: a
+        #: squash, replay, or pool recycle bumps the micro-op's ``gen``,
+        #: so stale entries are inert at wake even though recycled uops
+        #: no longer re-arm their memory-side slots eagerly.
         self._store_data_waiters = {}
-        #: store seq -> loads that speculated past it (memory-dependence
-        #: speculation); drained when the store's address resolves.
+        #: store seq -> (load, gen) pairs that speculated past it
+        #: (memory-dependence speculation); drained when the store's
+        #: address resolves.  Same generation-stamp discipline.
         self._pending_store_waiters = {}
         #: address -> executed loads at that address (violation index).
         self._ldq_by_addr = {}
@@ -96,13 +100,25 @@ class LoadStoreUnit:
         """Address generation completed: forward, wait, or access memory."""
         core = self.core
         prs1 = uop.prs1
-        base = core.prf.values[prs1] if prs1 is not None else 0
-        address = to_unsigned64(base + uop.instr.imm)
+        pure = core._pure
+        if (
+            pure is not None
+            and uop.trace_index >= 0
+            and (prs1 is None or pure[prs1])
+        ):
+            # On-trace with a pure base: the recorded effective address
+            # is exactly what the adder would produce.
+            address = core._tr_addrs[uop.trace_index]
+            uop.addr_pure = True
+        else:
+            base = core.prf.values[prs1] if prs1 is not None else 0
+            address = to_unsigned64(base + uop.instr.imm)
         uop.address = address
 
         seq = uop.seq
         pending = None
         match = None
+        impure_addr = False
         for store in self.stq:
             if store.seq >= seq:
                 break
@@ -111,18 +127,27 @@ class LoadStoreUnit:
                     pending = {store.seq}
                 else:
                     pending.add(store.seq)
-            elif store.address == address:
-                match = store
+            else:
+                if store.address == address:
+                    match = store
+                if not store.addr_pure:
+                    # An impure resolved address could mask (or fake)
+                    # aliasing relative to the architectural stream, so
+                    # the load's value is no longer provably
+                    # architectural (only meaningful under replay;
+                    # without a trace val_pure is never consulted).
+                    impure_addr = True
         if pending:
             uop.pending_stores = pending
             core.d_pending[seq] = uop
             waiters = self._pending_store_waiters
+            entry = (uop, uop.gen)
             for store_seq in pending:
                 bucket = waiters.get(store_seq)
                 if bucket is None:
-                    waiters[store_seq] = [uop]
+                    waiters[store_seq] = [entry]
                 else:
-                    bucket.append(uop)
+                    bucket.append(entry)
             # Register in the violation index, regardless of how the
             # data arrives.  Only loads that executed past an
             # *unresolved* older store address can ever be flagged —
@@ -137,18 +162,33 @@ class LoadStoreUnit:
             else:
                 bucket.append(uop)
 
+        # A load's value is provably architectural only when its own
+        # address is pure, no older store address is unresolved or
+        # impure, and (below) its forwarding source's data, if any, is
+        # itself pure.  Loads always take *values* from the live
+        # machine; this flag only feeds the destination register's
+        # purity bit.
+        val_pure = uop.addr_pure and pending is None and not impure_addr
+
         if match is not None:
             if match.data_done:
                 core.stats.store_forwards += 1
                 uop.forwarded_from = match.seq
+                uop.val_pure = val_pure and match.val_pure
                 core.schedule_load_complete(
                     uop, cycle + self._l1_latency, match.mem_value
                 )
             else:
+                # Tentative: ANDed with the store's data purity when the
+                # data arrives (store_data_ready).
+                uop.val_pure = val_pure
                 uop.waiting_on_store = match.seq
-                self._store_data_waiters.setdefault(match.seq, []).append(uop)
+                self._store_data_waiters.setdefault(match.seq, []).append(
+                    (uop, uop.gen)
+                )
             return
 
+        uop.val_pure = val_pure
         latency, _level = core.hierarchy.access(address, pc=uop.pc)
         value = core.memory.get(address, 0)
         core.schedule_load_complete(uop, cycle + latency, value)
@@ -183,10 +223,12 @@ class LoadStoreUnit:
 
         waiting = self._pending_store_waiters.pop(seq, None)
         if waiting:
-            for load in waiting:
+            for load, gen in waiting:
+                if load.gen != gen:
+                    continue  # squashed, replayed, or recycled since
                 pending = load.pending_stores
-                if load.killed or not pending or seq not in pending:
-                    continue  # squashed or replayed since registering
+                if not pending or seq not in pending:
+                    continue  # replayed since registering
                 pending.discard(seq)
                 if not pending and core.d_pending.pop(load.seq, None) is not None:
                     # Resolution may make a withheld broadcast
@@ -221,12 +263,15 @@ class LoadStoreUnit:
         waiting = self._store_data_waiters.pop(uop.seq, None)
         if not waiting:
             return
-        waiting.sort(key=lambda load: load.seq)
-        for load in waiting:
-            if load.killed or load.waiting_on_store != uop.seq:
-                continue  # squashed or replayed since registering
+        waiting.sort(key=lambda item: item[0].seq)
+        for load, gen in waiting:
+            if load.gen != gen or load.waiting_on_store != uop.seq:
+                continue  # squashed, replayed, or recycled since
             load.waiting_on_store = None
             load.forwarded_from = uop.seq
+            # Complete the tentative purity basis from load_agen with
+            # the store data's own purity.
+            load.val_pure = load.val_pure and uop.val_pure
             self.core.stats.store_forwards += 1
             self.core.schedule_load_complete(
                 load, cycle + self._l1_latency, uop.mem_value

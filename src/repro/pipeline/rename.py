@@ -135,6 +135,32 @@ class RenameUnit:
             if info.is_branch or instr.op is jalr:
                 self.create_checkpoint(uop, uop.ghr_at_predict)
 
+    def rename_solo(self, uop, reg_state=None):
+        """Rename a single micro-op: the 1-wide slice of
+        :meth:`rename_group`, without the group iteration overhead.
+
+        Behaviourally identical to ``rename_group([uop], reg_state)`` —
+        the core's dispatch stage takes this path for 1-uop groups (the
+        steady state of low-IPC cells, e.g. under the fence scheme,
+        where almost every cycle renames at most one instruction).
+        """
+        instr = uop.instr
+        info = instr.info
+        rat = self.rat
+        if info.reads_rs1 and instr.rs1 != 0:
+            uop.prs1 = rat[instr.rs1]
+        if info.reads_rs2 and instr.rs2 != 0:
+            uop.prs2 = rat[instr.rs2]
+        if info.writes_rd and instr.rd != 0:
+            preg = self.free_list.popleft()
+            uop.stale_prd = rat[instr.rd]
+            uop.prd = preg
+            rat[instr.rd] = preg
+            if reg_state is not None:
+                reg_state[preg] = 0  # NOT_READY
+        if info.is_branch or instr.op is Opcode.JALR:
+            self.create_checkpoint(uop, uop.ghr_at_predict)
+
     # -- checkpoints ------------------------------------------------------
 
     def create_checkpoint(self, uop, ghr):

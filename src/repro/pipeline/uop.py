@@ -24,14 +24,38 @@ Recycling is safe against stale references because of two invariants:
 
 Lazily-discarded index registrations (issue-queue waiter sets, LSU
 forward/violation indexes) may still name a recycled object; their
-existing per-entry guards — status, ``killed``, seq, and address
-checks against the object's *current* life — make every such stale
-entry inert, exactly as they did for departed-but-unrecycled objects.
-The one holder that outlives retirement is a delayed-broadcast scheme
-(NDA family) whose budget-blocked load commits before its broadcast
-releases; the core's commit sweep detects that (the destination
-register is still not READY) and simply skips recycling that one
-micro-op.
+existing per-entry guards — status, ``killed``, generation, seq, and
+address checks against the object's *current* life — make every such
+stale entry inert, exactly as they did for departed-but-unrecycled
+objects.  The one holder that outlives retirement is a
+delayed-broadcast scheme (NDA family) whose budget-blocked load commits
+before its broadcast releases; the core's commit sweep detects that
+(the destination register is still not READY) and simply skips
+recycling that one micro-op.
+
+**Slot groups.**  Re-arming is split by read discipline so the rename
+hot loop only touches fields that could actually leak between lives:
+
+* :data:`HOT_SLOTS` — :meth:`MicroOp.reset` — fields some consumer may
+  read before this life writes them (scheduler status, rename state,
+  scheme taint state, control metadata).  Always re-armed.
+* :data:`MEM_SLOTS` — :meth:`MicroOp.reset_mem` — fields only ever
+  read under a load/store classification guard (LSQ state, purity
+  flags, the store-half issue state, ``issue_cycle`` which only stores
+  read-before-write).  The core re-arms them only for memory micro-ops;
+  the LSU's waiter registries snapshot ``(uop, gen)`` so a recycled
+  non-memory life can never satisfy a stale memory-side lookup.
+* :data:`DEFERRED_SLOTS` — :meth:`MicroOp.reset_deferred` — fields
+  every reader observes strictly after this life's writer (branch
+  resolution results, completion results, commit timestamps).  The hot
+  path skips them entirely; :meth:`MicroOpPool.acquire` (the reference
+  and tool/test entry point) still performs the full three-group
+  re-arm, so directly-driven micro-ops behave exactly like freshly
+  constructed ones.
+
+``tests/pipeline/test_uop_pool.py`` pins the partition structurally:
+the three groups plus the pool-owned slots must cover ``__slots__``
+exactly, and each ``reset*`` method must restore its whole group.
 """
 
 # Issue "halves" for micro-ops.  Plain ops use WHOLE; stores issue
@@ -39,6 +63,37 @@ micro-op.
 WHOLE = "whole"
 ADDR = "addr"
 DATA = "data"
+
+#: Slot partition (see the module docstring).  The structural test in
+#: tests/pipeline/test_uop_pool.py asserts these four tuples cover
+#: ``MicroOp.__slots__`` exactly and that each reset method restores
+#: its whole group.
+HOT_SLOTS = (
+    "seq", "pc", "instr", "fetch_cycle",
+    "op_is_load", "op_is_store", "op_is_branch", "op_is_transmitter",
+    "op_is_div", "op_latency",
+    "prs1", "prs2", "prd", "stale_prd", "checkpoint_id",
+    "pred_taken", "pred_target", "ghr_at_predict",
+    "in_rob", "completed", "committed", "killed",
+    "spec_deps", "iq_status", "order_violation",
+    "yrot", "yrot_addr", "yrot_data", "stt_nop_issued",
+    "complete_cycle", "trace_index",
+)
+
+MEM_SLOTS = (
+    "address", "mem_value", "ldq_index", "stq_index",
+    "forwarded_from", "waiting_on_store", "pending_stores",
+    "addr_done", "data_done", "l1_miss",
+    "addr_issued", "data_issued", "issue_cycle",
+    "addr_pure", "val_pure",
+)
+
+DEFERRED_SLOTS = (
+    "mispredicted", "result", "taken", "actual_target",
+    "rename_cycle", "commit_cycle",
+)
+
+POOL_SLOTS = ("gen", "in_pool")
 
 
 class MicroOp:
@@ -98,6 +153,14 @@ class MicroOp:
         # Older stores with unknown addresses this load executed past
         # (memory-dependence speculation; emptied as they resolve).
         "pending_stores",
+        # Trace replay: position of this dynamic instruction in the
+        # recorded trace (-1 = wrong path / no trace attached) and
+        # purity of the generated address / loaded value — True iff the
+        # value provably equals the architectural one, making recorded
+        # outcomes substitutable downstream (see repro.pipeline.core).
+        "trace_index",
+        "addr_pure",
+        "val_pure",
         # Timing bookkeeping.
         "fetch_cycle",
         "rename_cycle",
@@ -120,14 +183,20 @@ class MicroOp:
         self.gen = 0
         self.in_pool = False
         self.reset(seq, pc, instr, fetch_cycle)
+        self.reset_mem()
+        self.reset_deferred()
 
     def reset(self, seq, pc, instr, fetch_cycle=0):
-        """Re-arm a recycled micro-op for a new dynamic instruction.
+        """Re-arm the hot slot group for a new dynamic instruction.
 
-        Restores every field to its fresh-``__init__`` state *except*
-        ``gen``, which instead increments: events scheduled against the
-        previous life snapshot the old generation and must never match
-        the new one (``in_pool`` is pool-managed and not touched here).
+        Restores every :data:`HOT_SLOTS` field to its fresh-``__init__``
+        state *except* ``gen``, which instead increments: events
+        scheduled against the previous life snapshot the old generation
+        and must never match the new one (``in_pool`` is pool-managed
+        and not touched here).  The memory group is re-armed separately
+        (:meth:`reset_mem`, loads/stores only) and the deferred group
+        not at all on the hot path — see the module docstring for why
+        that is sound.
         """
         self.seq = seq
         self.pc = pc
@@ -148,37 +217,46 @@ class MicroOp:
         self.pred_target = None
         self.ghr_at_predict = None
         self.in_rob = False
-        self.addr_issued = False
-        self.data_issued = False
         self.completed = False
         self.committed = False
         self.killed = False
         self.gen += 1
-        self.mispredicted = False
-        self.result = None
-        self.taken = False
-        self.actual_target = None
-        self.address = None
-        self.mem_value = None
-        self.ldq_index = None
-        self.stq_index = None
-        self.forwarded_from = None
         self.order_violation = False
-        self.addr_done = False
-        self.data_done = False
-        self.l1_miss = False
         self.yrot = None
         self.yrot_addr = None
         self.yrot_data = None
         self.stt_nop_issued = False
         self.spec_deps = None
-        self.waiting_on_store = None
         self.iq_status = 0
-        self.pending_stores = None
         self.fetch_cycle = fetch_cycle
-        self.rename_cycle = None
-        self.issue_cycle = None
         self.complete_cycle = None
+        self.trace_index = -1
+
+    def reset_mem(self):
+        """Re-arm the memory slot group (loads and stores only)."""
+        self.address = None
+        self.mem_value = None
+        self.ldq_index = None
+        self.stq_index = None
+        self.forwarded_from = None
+        self.waiting_on_store = None
+        self.pending_stores = None
+        self.addr_done = False
+        self.data_done = False
+        self.l1_miss = False
+        self.addr_issued = False
+        self.data_issued = False
+        self.issue_cycle = None
+        self.addr_pure = False
+        self.val_pure = False
+
+    def reset_deferred(self):
+        """Re-arm the written-before-read slot group (reference path)."""
+        self.mispredicted = False
+        self.result = None
+        self.taken = False
+        self.actual_target = None
+        self.rename_cycle = None
         self.commit_cycle = None
 
     # -- classification shortcuts -------------------------------------
@@ -220,7 +298,12 @@ class MicroOp:
         self.gen += 1
 
     def replay(self):
-        """Return the micro-op to the not-issued state (wakeup replay)."""
+        """Return the micro-op to the not-issued state (wakeup replay).
+
+        ``trace_index`` survives: a replay re-executes the *same*
+        dynamic instruction.  The purity flags do not — the re-executed
+        address/value derivation re-establishes them from scratch.
+        """
         self.gen += 1
         self.addr_issued = False
         self.data_issued = False
@@ -230,6 +313,8 @@ class MicroOp:
         self.waiting_on_store = None
         self.pending_stores = None
         self.l1_miss = False
+        self.addr_pure = False
+        self.val_pure = False
 
     def __repr__(self):
         return "<uop #%d pc=%d %s%s>" % (
@@ -267,14 +352,20 @@ class MicroOpPool:
     def acquire(self, seq, pc, instr, fetch_cycle=0):
         """A micro-op armed for ``(seq, pc, instr)``: recycled or new.
 
-        The core inlines this in its rename gather loop; the method is
-        the reference implementation (and the tool/test entry point).
+        Performs the *full* three-group re-arm, so a recycled micro-op
+        is indistinguishable from a fresh construction.  The core's
+        rename gather loop inlines a narrower form (hot group always,
+        memory group for loads/stores only — see the module docstring);
+        this method is the reference implementation and the tool/test
+        entry point.
         """
         free = self._free
         if free:
             uop = free.pop()
             uop.in_pool = False
             uop.reset(seq, pc, instr, fetch_cycle)
+            uop.reset_mem()
+            uop.reset_deferred()
             return uop
         self.allocated += 1
         return MicroOp(seq, pc, instr, fetch_cycle)

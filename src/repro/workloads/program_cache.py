@@ -34,6 +34,19 @@ Two layers:
   file + rename) and corrupt or unreadable files fall back to
   regeneration; content addressing makes sharing one directory between
   concurrent writers safe (same key => byte-identical program).
+
+**Dynamic traces** live here too, through the same two layers and the
+same directory: :func:`cached_trace` / :func:`cached_spec_trace` resolve
+a (profile, seed) pair to the program's canonical
+:class:`~repro.isa.trace.DynamicTrace` — recorded once via the
+reference interpreter (:func:`~repro.isa.trace.record_trace`), then
+reused by every grid cell that shares the workload.  The trace key
+(:func:`trace_key`) wraps the program key plus
+:data:`~repro.isa.trace.TRACE_FORMAT_VERSION`, so a trace can never
+outlive either the generator output it was recorded from or the column
+format the pipeline expects; on disk a trace is one
+``<key>.trace.json`` file with the same atomic-write and
+corrupt-falls-back-to-re-record discipline as programs.
 """
 
 import hashlib
@@ -46,12 +59,15 @@ from dataclasses import asdict, replace
 
 from repro.isa.instructions import Instruction, Opcode
 from repro.isa.program import Program
+from repro.isa.trace import TRACE_FORMAT_VERSION, DynamicTrace, record_trace
 from repro.workloads.characteristics import SPEC_PROFILES
 from repro.workloads.generator import GENERATOR_VERSION, generate_program
 
 _CACHE = {}
+_TRACE_CACHE = {}
 _LOCK = threading.Lock()
-_STATS = {"hits": 0, "misses": 0, "disk_hits": 0}
+_STATS = {"hits": 0, "misses": 0, "disk_hits": 0,
+          "trace_hits": 0, "trace_misses": 0, "trace_disk_hits": 0}
 _DISK_DIR = None
 
 
@@ -64,6 +80,21 @@ def program_key(profile, seed):
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"),
                       default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def trace_key(profile, seed):
+    """Content hash identifying one recorded dynamic trace; hex digest.
+
+    Wraps :func:`program_key` (so the generator version, full profile,
+    and seed all participate) plus the trace format version: bumping
+    either invalidates persisted traces without touching programs.
+    """
+    payload = {
+        "trace_format_version": TRACE_FORMAT_VERSION,
+        "program_key": program_key(profile, seed),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
@@ -163,6 +194,35 @@ def _disk_store(key, program):
         pass  # a read-only or full disk must never fail a simulation
 
 
+def _trace_disk_load(key):
+    if _DISK_DIR is None:
+        return None
+    path = _DISK_DIR / ("%s.trace.json" % key)
+    try:
+        with open(path) as handle:
+            return DynamicTrace.from_payload(json.load(handle))
+    except (OSError, ValueError, KeyError, TypeError):
+        return None  # missing/corrupt/stale format: re-record
+
+
+def _trace_disk_store(key, trace):
+    if _DISK_DIR is None:
+        return
+    try:
+        _DISK_DIR.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=str(_DISK_DIR), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(trace.to_payload(), handle,
+                          separators=(",", ":"))
+            os.replace(tmp, str(_DISK_DIR / ("%s.trace.json" % key)))
+        except BaseException:
+            os.unlink(tmp)
+            raise
+    except OSError:
+        pass  # a read-only or full disk must never fail a simulation
+
+
 # -- lookup -----------------------------------------------------------------
 
 
@@ -199,15 +259,64 @@ def cached_spec_program(benchmark, scale=1.0, seed=2017):
                           seed=seed)
 
 
+def cached_trace(profile, seed=2017):
+    """The canonical dynamic trace for ``profile``, memoised by content.
+
+    Recorded at most once per process (and, with the disk layer, once
+    per cache directory); the backing program comes through
+    :func:`cached_program`, so a trace request also primes the program
+    cache.  Traces are safe to share — the replayer only ever reads
+    the columns.
+    """
+    key = trace_key(profile, seed)
+    with _LOCK:
+        trace = _TRACE_CACHE.get(key)
+        if trace is not None:
+            _STATS["trace_hits"] += 1
+            return trace
+        _STATS["trace_misses"] += 1
+    # Disk lookup and recording happen outside the lock; a racing
+    # thread may record the same (deterministic, identical) trace
+    # twice — harmless.
+    program = cached_program(profile, seed=seed)
+    trace = _trace_disk_load(key)
+    if trace is not None:
+        try:
+            trace.check_program(program)
+        except ValueError:
+            trace = None  # stale file for a colliding key: re-record
+    if trace is not None:
+        with _LOCK:
+            _STATS["trace_disk_hits"] += 1
+            return _TRACE_CACHE.setdefault(key, trace)
+    trace = record_trace(program)
+    _trace_disk_store(key, trace)
+    with _LOCK:
+        return _TRACE_CACHE.setdefault(key, trace)
+
+
+def cached_spec_trace(benchmark, scale=1.0, seed=2017):
+    """The (cached) dynamic trace for one SPEC-proxy benchmark.
+
+    Raises ``KeyError`` for unknown benchmark names, matching
+    :func:`cached_spec_program`.
+    """
+    return cached_trace(scaled_profile(SPEC_PROFILES[benchmark], scale),
+                        seed=seed)
+
+
 def cache_stats():
     """Hit/miss counters plus entry count for this process."""
     with _LOCK:
-        return {"entries": len(_CACHE), **_STATS}
+        return {"entries": len(_CACHE),
+                "trace_entries": len(_TRACE_CACHE), **_STATS}
 
 
 def clear_cache():
-    """Empty the in-process cache and zero the counters (tests,
+    """Empty the in-process caches and zero the counters (tests,
     memory pressure).  The disk layer is left untouched."""
     with _LOCK:
         _CACHE.clear()
-        _STATS["hits"] = _STATS["misses"] = _STATS["disk_hits"] = 0
+        _TRACE_CACHE.clear()
+        for counter in _STATS:
+            _STATS[counter] = 0

@@ -26,6 +26,7 @@ import pytest
 
 from repro.core.factory import make_scheme
 from repro.harness.store import ResultStore, simulation_key
+from repro.isa.trace import record_trace
 from repro.pipeline.config import MEGA, SMALL
 from repro.pipeline.core import OoOCore
 from repro.workloads.generator import WorkloadProfile, generate_program
@@ -101,11 +102,26 @@ def cell_key(program_name, config, scheme_name, scheme_kwargs):
     )
 
 
-def simulate(program, config, scheme_name, scheme_kwargs):
+#: Memoised canonical traces, one per golden program: every cell runs
+#: with trace replay *enabled*, so the whole grid doubles as the
+#: replay-is-byte-identical acceptance (the fixture was recorded by the
+#: purely functional kernel and is unchanged).
+_TRACES = {}
+
+
+def trace_for(program):
+    entry = _TRACES.get(id(program))
+    if entry is None or entry[0] is not program:
+        _TRACES[id(program)] = entry = (program, record_trace(program))
+    return entry[1]
+
+
+def simulate(program, config, scheme_name, scheme_kwargs, replay=True):
     core = OoOCore(
         program,
         config=config,
         scheme=make_scheme(scheme_name, **scheme_kwargs),
+        trace=trace_for(program) if replay else None,
     )
     return core.run()
 
@@ -169,6 +185,32 @@ def test_kernel_matches_golden(cell, golden_store):
     ids=["%s%s" % (n, "-split" if k.get("split_store_taints") else "")
          for n, k in SCHEME_VARIANTS],
 )
+def test_replay_on_equals_replay_off(scheme_variant):
+    """Trace replay on == trace replay off, bit for bit, per scheme.
+
+    The golden grid above runs with replay *on* against a replay-free
+    fixture, which already implies this — but only for fixture cells.
+    This is the direct statement, on the workload with the richest
+    wrong-path behaviour (forwarding: ordering violations, partial
+    store issue, squash storms), under both configs.
+    """
+    scheme_name, scheme_kwargs = scheme_variant
+    program = forwarding_kernel(iterations=32, slots=8, array_words=256)
+    for config in CONFIGS:
+        on = simulate(program, config, scheme_name, scheme_kwargs)
+        off = simulate(program, config, scheme_name, scheme_kwargs,
+                       replay=False)
+        assert on.to_dict() == off.to_dict(), (
+            "replay changed results under %s/%s"
+            % (config.name, scheme_name)
+        )
+
+
+@pytest.mark.parametrize(
+    "scheme_variant", SCHEME_VARIANTS,
+    ids=["%s%s" % (n, "-split" if k.get("split_store_taints") else "")
+         for n, k in SCHEME_VARIANTS],
+)
 def test_fast_forward_matches_pure_stepping(scheme_variant):
     """run() (idle-cycle fast-forward) == a pure step() loop, bit for bit.
 
@@ -208,7 +250,10 @@ def regenerate():
     for cell in _CELLS:
         program, config, scheme_name, scheme_kwargs = cell
         key = cell_key(program.name, config, scheme_name, scheme_kwargs)
-        result = simulate(program, config, scheme_name, scheme_kwargs)
+        # Recorded functionally (replay off): the grid tests then pin
+        # the trace replayer against a replay-free fixture.
+        result = simulate(program, config, scheme_name, scheme_kwargs,
+                          replay=False)
         store.save(key, result, meta={
             "golden_version": GOLDEN_VERSION,
             "benchmark": program.name,

@@ -1,11 +1,16 @@
 """Micro-op pool: reset completeness, recycling, and recovery safety.
 
 The pool's correctness argument (see :mod:`repro.pipeline.uop`) rests
-on ``reset`` restoring *every* field a fresh construction would — a
-stale field surviving into a recycled micro-op's next life is exactly
-the class of bug object pooling invites.  The fuzz test below is
-structural: it derives the field list from ``MicroOp.__slots__``, so a
-newly added slot that ``reset`` forgets fails the suite immediately.
+on the three reset methods *together* restoring every field a fresh
+construction would — a stale field surviving into a recycled micro-op's
+next life is exactly the class of bug object pooling invites.  Reset is
+partitioned (``reset`` re-arms the hot slots, ``reset_mem`` the
+memory-side slots loads/stores read, ``reset_deferred`` the
+written-before-read remainder) so the hot path can skip cold groups;
+the fuzz tests below are structural: they derive the field lists from
+the partition constants and from ``MicroOp.__slots__``, so a newly
+added slot that no reset method covers — or a slot claimed by two
+groups — fails the suite immediately.
 
 The behavioural tests exercise the two recovery paths that return
 micro-ops to the pool in bulk — checkpoint-restore squashes and
@@ -19,7 +24,14 @@ import pytest
 from repro import OoOCore, make_scheme, run_reference
 from repro.isa.instructions import Instruction, Opcode
 from repro.pipeline.config import MEGA, SMALL
-from repro.pipeline.uop import MicroOp, MicroOpPool
+from repro.pipeline.uop import (
+    DEFERRED_SLOTS,
+    HOT_SLOTS,
+    MEM_SLOTS,
+    POOL_SLOTS,
+    MicroOp,
+    MicroOpPool,
+)
 from repro.workloads.generator import WorkloadProfile, generate_program
 from repro.workloads.kernels import chase_kernel, forwarding_kernel
 
@@ -48,21 +60,41 @@ def _trash_every_slot(uop, salt=0):
         setattr(uop, name, _GARBAGE[(index + salt) % len(_GARBAGE)])
 
 
-@pytest.mark.parametrize("instr", _INSTRS, ids=lambda i: i.op.name)
-def test_reset_restores_every_slot(instr):
-    """reset() == __init__ for every slot, whatever the previous life.
+def test_slot_partition_is_complete_and_disjoint():
+    """Every slot belongs to exactly one reset group.
 
-    Trash every slot with garbage, reset, and diff attribute-by-
-    attribute against a freshly constructed micro-op for the same
-    dynamic instruction.  Structural: iterates ``__slots__``, so a new
-    field that reset() misses fails here before it can leak state
-    between lives.
+    The lazy-reset argument only holds if the partition constants and
+    ``__slots__`` agree: a slot in no group would never be re-armed, a
+    slot in two would hide which reset owns it.
+    """
+    groups = (HOT_SLOTS, MEM_SLOTS, DEFERRED_SLOTS, POOL_SLOTS)
+    union = [name for group in groups for name in group]
+    assert len(union) == len(set(union)), "slot claimed by two groups"
+    assert set(union) == set(MicroOp.__slots__), (
+        "partition out of sync with __slots__: missing %s, extra %s"
+        % (set(MicroOp.__slots__) - set(union),
+           set(union) - set(MicroOp.__slots__))
+    )
+
+
+@pytest.mark.parametrize("instr", _INSTRS, ids=lambda i: i.op.name)
+def test_full_reset_restores_every_slot(instr):
+    """reset + reset_mem + reset_deferred == __init__ for every slot.
+
+    This is the pool's ``acquire`` contract (the reference full
+    re-arm): trash every slot with garbage, run all three reset
+    methods, and diff attribute-by-attribute against a freshly
+    constructed micro-op for the same dynamic instruction.  Structural:
+    iterates ``__slots__``, so a new field that no reset method covers
+    fails here before it can leak state between lives.
     """
     for salt in range(len(_GARBAGE)):
         recycled = MicroOp(1, 2, _INSTRS[0], 3)
         _trash_every_slot(recycled, salt=salt)
         recycled.gen = 41  # garbage pass clobbered it; make it an int
         recycled.reset(7, 11, instr, fetch_cycle=5)
+        recycled.reset_mem()
+        recycled.reset_deferred()
 
         fresh = MicroOp(7, 11, instr, fetch_cycle=5)
         for name in MicroOp.__slots__:
@@ -71,6 +103,43 @@ def test_reset_restores_every_slot(instr):
             assert getattr(recycled, name) == getattr(fresh, name), (
                 "slot %r survived recycling with a stale value "
                 "(salt %d)" % (name, salt)
+            )
+
+
+@pytest.mark.parametrize("instr", _INSTRS, ids=lambda i: i.op.name)
+def test_hot_reset_restores_every_hot_slot(instr):
+    """reset() alone fully re-arms the HOT group (the dispatch fast
+    path for non-memory micro-ops relies on exactly this)."""
+    for salt in range(len(_GARBAGE)):
+        recycled = MicroOp(1, 2, _INSTRS[0], 3)
+        _trash_every_slot(recycled, salt=salt)
+        recycled.gen = 41
+        recycled.reset(7, 11, instr, fetch_cycle=5)
+
+        fresh = MicroOp(7, 11, instr, fetch_cycle=5)
+        for name in HOT_SLOTS:
+            assert getattr(recycled, name) == getattr(fresh, name), (
+                "hot slot %r not re-armed by reset() (salt %d)"
+                % (name, salt)
+            )
+
+
+@pytest.mark.parametrize("instr", _INSTRS[1:3], ids=lambda i: i.op.name)
+def test_mem_reset_restores_every_mem_slot(instr):
+    """reset_mem() alone fully re-arms the MEM group (dispatch runs it
+    for every load and store it pops from a recycled micro-op)."""
+    for salt in range(len(_GARBAGE)):
+        recycled = MicroOp(1, 2, _INSTRS[0], 3)
+        _trash_every_slot(recycled, salt=salt)
+        recycled.gen = 41
+        recycled.reset(7, 11, instr, fetch_cycle=5)
+        recycled.reset_mem()
+
+        fresh = MicroOp(7, 11, instr, fetch_cycle=5)
+        for name in MEM_SLOTS:
+            assert getattr(recycled, name) == getattr(fresh, name), (
+                "mem slot %r not re-armed by reset_mem() (salt %d)"
+                % (name, salt)
             )
 
 
