@@ -18,14 +18,23 @@ Subcommands:
     Host a campaign as a cluster coordinator: bind a TCP port, serve
     grid cells to any number of ``work`` clients (work-stealing), and
     stream results into the store.  Prints the ``work --connect`` line
-    to attach workers from other hosts.
+    to attach workers from other hosts.  The campaign journals itself
+    next to the store; ``serve --resume`` replays the journal (queue
+    order, attempt counts, quarantines) after a coordinator crash.
+    Deterministic cell failures are recorded and skipped by default;
+    ``--fail-fast`` restores abort-on-first-error.
 ``work``
     Join a cluster as a worker: ``--connect HOST:PORT``, pull cells,
-    simulate, report, repeat until the coordinator drains.
+    simulate, report, repeat until the coordinator drains.  Transient
+    connection loss retries with capped exponential backoff
+    (``--max-reconnects``); ``--cell-timeout`` converts hung cells
+    into reported timeouts.
 ``store``
-    Maintain the persistent result store: ``store verify`` drops
-    corrupt/stale cells, ``store gc`` evicts everything outside the
-    standard campaign grid for the given scale/seed.
+    Maintain the persistent result store: ``store verify`` quarantines
+    corrupt cells aside (``.corrupt``) and drops stale ones,
+    ``store gc`` evicts everything outside the standard campaign grid
+    for the given scale/seed, ``store failures`` lists recorded cell
+    failures (exit 1 when any exist).
 ``schemes``
     List every registered speculation scheme straight from the scheme
     registry: canonical name, grid membership, kwargs schema, and the
@@ -145,6 +154,16 @@ def build_parser():
     serve.add_argument("--heartbeat-timeout", type=float, default=10.0,
                        help="seconds of worker silence before its cells"
                             " are requeued (default 10)")
+    serve.add_argument("--resume", action="store_true",
+                       help="replay the campaign journal from a crashed"
+                            " coordinator (queue order, attempts,"
+                            " quarantines) before serving")
+    serve.add_argument("--fail-fast", action="store_true",
+                       help="abort the campaign on the first cell"
+                            " failure (default: record and continue)")
+    serve.add_argument("--max-cell-attempts", type=int, default=None,
+                       help="worker deaths holding one cell before it is"
+                            " quarantined as poisoned (default 3)")
 
     work = sub.add_parser(
         "work", help="join a cluster campaign as a worker")
@@ -156,6 +175,14 @@ def build_parser():
                       help="seconds between heartbeats (default 2)")
     work.add_argument("--max-cells", type=int, default=None,
                       help="stop after N cells (default: until drained)")
+    work.add_argument("--max-reconnects", type=int, default=5,
+                      help="reconnect attempts (capped exponential"
+                           " backoff) after losing the coordinator"
+                           " (default 5; 0 = give up immediately)")
+    work.add_argument("--cell-timeout", type=float, default=None,
+                      help="per-cell wall-clock deadline in seconds;"
+                           " a hung cell is reported as a timeout"
+                           " failure (default: none)")
     work.add_argument("--program-cache-dir", default=None, metavar="DIR",
                       help="persist generated programs under DIR so"
                            " repeated worker processes skip generation"
@@ -168,9 +195,11 @@ def build_parser():
 
     store = sub.add_parser(
         "store", help="maintain the persistent result store")
-    store.add_argument("action", choices=("verify", "gc"),
-                       help="verify: drop corrupt/stale cells;"
-                            " gc: evict cells outside the standard grid")
+    store.add_argument("action", choices=("verify", "gc", "failures"),
+                       help="verify: quarantine corrupt cells aside and"
+                            " drop stale ones; gc: evict cells outside"
+                            " the standard grid; failures: list recorded"
+                            " cell failures (exit 1 when any exist)")
     store.add_argument("--store-dir", default=DEFAULT_STORE_DIR,
                        help="persistent store root (default %(default)s)")
     store.add_argument("--scale", type=float, default=1.0,
@@ -279,9 +308,17 @@ def cmd_grid(args):
                               schemes=schemes, jobs=args.jobs,
                               executor=make_cli_executor(args),
                               progress=make_progress(args.progress))
-    print("grid: %(total)d cells — %(simulated)d simulated, "
-          "%(from_store)d from store, %(cached)d cached" % summary)
-    return 0
+    print(_summary_line("grid", summary))
+    return 0 if not summary.get("failed") else 1
+
+
+def _summary_line(label, summary):
+    line = ("%s: %d cells — %d simulated, %d from store, %d cached"
+            % (label, summary["total"], summary["simulated"],
+               summary["from_store"], summary["cached"]))
+    if summary.get("failed"):
+        line += ", %d failed" % summary["failed"]
+    return line
 
 
 def _needed_cells(experiment_ids_, runner):
@@ -327,9 +364,7 @@ def cmd_run(args):
             summary = runner.run_cell_batch(
                 cells, jobs=args.jobs, executor=executor,
                 progress=make_progress(args.progress))
-            print("grid pre-populated (%(total)d cells): "
-                  "%(simulated)d simulated, %(from_store)d from store, "
-                  "%(cached)d cached" % summary)
+            print(_summary_line("grid pre-populated", summary))
     for experiment_id in ids:
         report = run_experiment(experiment_id, runner=runner)
         print(report)
@@ -339,18 +374,26 @@ def cmd_run(args):
 
 def cmd_serve(args):
     from repro.harness.cluster import ClusterExecutor
+    from repro.harness.cluster.coordinator import DEFAULT_MAX_CELL_ATTEMPTS
+    from repro.harness.journal import journal_path
 
     runner = make_runner(args)
     schemes = tuple(args.schemes) if args.schemes else grid_scheme_names()
     executor = ClusterExecutor(
         host=args.host, port=args.port, local_workers=args.local_workers,
         heartbeat_timeout=args.heartbeat_timeout, on_serving=_announce,
+        fail_fast=args.fail_fast,
+        max_cell_attempts=(DEFAULT_MAX_CELL_ATTEMPTS
+                           if args.max_cell_attempts is None
+                           else args.max_cell_attempts),
+        journal_path=(None if args.no_store
+                      else journal_path(args.store_dir)),
+        resume=args.resume,
     )
     summary = runner.run_grid(configs=_selected_configs(args),
                               schemes=schemes, executor=executor,
                               progress=make_progress(True))
-    print("campaign drained: %(total)d cells — %(simulated)d simulated, "
-          "%(from_store)d from store, %(cached)d cached" % summary)
+    print(_summary_line("campaign drained", summary))
     stats = executor.last_stats
     if stats and stats["workers"]:
         attribution = ", ".join(
@@ -358,7 +401,11 @@ def cmd_serve(args):
             for name, count in sorted(stats["workers"].items()))
         print("workers: %s (requeues: %d)"
               % (attribution, stats["requeues"]))
-    return 0
+    if stats and (stats.get("failed") or stats.get("quarantined")):
+        print("failures: %d deterministic/timeout, %d quarantined"
+              " — inspect with: python -m repro store failures"
+              % (stats["failed"], stats["quarantined"]), file=sys.stderr)
+    return 0 if not summary.get("failed") else 1
 
 
 def cmd_work(args):
@@ -371,13 +418,24 @@ def cmd_work(args):
     host, port = parse_hostport(args.connect)
     worker = ClusterWorker(host, port, name=args.name,
                            heartbeat_interval=args.heartbeat_interval,
-                           max_cells=args.max_cells)
+                           max_cells=args.max_cells,
+                           max_reconnects=args.max_reconnects,
+                           cell_timeout=args.cell_timeout)
     completed = worker.run()
-    if worker.disconnected:
-        print("worker lost its coordinator after %d cell(s): %s"
+    if worker.rejected:
+        print("worker rejected by coordinator after %d cell(s): %s"
               % (completed, worker.last_error), file=sys.stderr)
         return 1
+    if worker.disconnected:
+        print("worker lost its coordinator after %d cell(s)"
+              " (%d reconnect(s) spent): %s"
+              % (completed, worker.reconnects, worker.last_error),
+              file=sys.stderr)
+        return 1
     print("worker done: %d cell(s) simulated" % completed)
+    if worker.reconnects:
+        print("worker survived %d reconnect(s)" % worker.reconnects,
+              file=sys.stderr)
     return 0
 
 
@@ -385,11 +443,22 @@ def cmd_store(args):
     store = ResultStore(args.store_dir)
     if args.action == "verify":
         summary = store.verify()
-        print("store verify (%s): %d scanned, %d kept, %d corrupt dropped,"
-              " %d stale dropped"
+        print("store verify (%s): %d scanned, %d kept, %d corrupt set"
+              " aside, %d stale dropped"
               % (store.root, summary["scanned"], summary["kept"],
                  summary["corrupt"], summary["stale"]))
         return 0
+    if args.action == "failures":
+        failures = store.failures()
+        for record in failures:
+            print("%s  %s/%s/%s  %s x%d (worker %s): %s"
+                  % (record.key[:12], record.benchmark,
+                     record.config_name or "-", record.scheme_name,
+                     record.kind, record.attempts,
+                     record.worker or "?", record.error))
+        print("store failures (%s): %d recorded"
+              % (store.root, len(failures)))
+        return 1 if failures else 0
     runner = CampaignRunner(scale=args.scale, seed=args.seed,
                             benchmarks=args.benchmarks)
     from repro.pipeline.config import named_configs

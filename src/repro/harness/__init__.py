@@ -72,7 +72,38 @@ report back.  The contract:
   falsely-dead worker's late result is bit-identical to the requeued
   rerun, the first result per cell wins, duplicates are dropped.
   Reported ``error`` frames are deterministic failures and are *not*
-  requeued — the campaign fails fast, like a pool run would.
+  requeued.
+
+**Failure model** (the crash-safety contract, end to end):
+
+- *Retried*: worker death (socket EOF, heartbeat silence) requeues the
+  dead worker's in-flight cells at the front of the queue — a crash
+  costs one cell's work, never the campaign.  Workers themselves retry
+  lost coordinators with capped exponential backoff + jitter
+  (``work --max-reconnects``); an explicit coordinator *rejection*
+  (bad protocol version, incompatible schemes) is not retried.
+- *Quarantined*: a cell that kills its worker ``max_cell_attempts``
+  times (default 3) is poisoned — it is settled as a
+  :class:`~repro.harness.store.CellFailure` (kind ``poisoned``) and
+  never requeued, so one pathological cell cannot starve the grid.
+  Deterministic ``error`` frames and watchdog timeouts
+  (``work --cell-timeout``) settle the same way with kinds
+  ``deterministic``/``timeout``.  Settled failures are persisted as
+  records under ``<store>/failures/`` (``python -m repro store
+  failures`` lists them; a later first result wins and clears the
+  record).
+- *Aborts*: only ``--fail-fast`` restores abort-on-first-error;
+  otherwise failed cells yield ``None`` results and the rest of the
+  campaign completes (graceful degradation).  Serial and pool
+  backends keep their historical raise-on-exception behaviour.
+- *Resumes*: the coordinator appends every steal/done/requeue/
+  quarantine to an atomic-headed journal
+  (``<store>/campaign.journal.jsonl``); ``serve --resume`` replays it
+  — the store stays authoritative for completed cells, the journal
+  contributes queue order, attempt counts, and settled failures.  A
+  seeded :class:`~repro.harness.cluster.FaultPlan` injects crashes,
+  frame faults, hangs, and coordinator kills at the protocol seam to
+  test all of the above deterministically.
 
 **Program cache.**  Workload generation is memoised content-addressed
 (:mod:`repro.workloads.program_cache`: profile content + seed +
@@ -92,7 +123,9 @@ cells of one benchmark generate its program once per process.
     # ... any number of workers on any machines:
     python -m repro work --connect coordinator-host:2017
 
-    python -m repro store verify                 # drop corrupt/stale
+    python -m repro serve --resume               # pick up after a crash
+    python -m repro store failures               # recorded cell failures
+    python -m repro store verify                 # quarantine corrupt/stale
     python -m repro store gc --scale 1.0         # evict off-grid cells
     python -m repro bench --record BENCH_PR3.json
 
@@ -104,7 +137,13 @@ in-memory.
 """
 
 from repro.harness.runner import CampaignRunner, shared_runner
-from repro.harness.store import MODEL_VERSION, ResultStore, simulation_key
+from repro.harness.store import (
+    MODEL_VERSION,
+    CellFailure,
+    ResultStore,
+    simulation_key,
+)
+from repro.harness.journal import CampaignJournal, journal_path
 from repro.harness.executor import (
     Executor,
     PoolExecutor,
@@ -125,6 +164,9 @@ __all__ = [
     "CampaignRunner",
     "shared_runner",
     "ResultStore",
+    "CellFailure",
+    "CampaignJournal",
+    "journal_path",
     "simulation_key",
     "MODEL_VERSION",
     "Executor",

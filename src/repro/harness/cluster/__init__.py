@@ -15,17 +15,25 @@ multiprocessing pool already share:
   in the background while it simulates;
 - :mod:`~repro.harness.cluster.executor` — the
   :class:`~repro.harness.executor.Executor` adapter
-  (``--executor cluster`` / ``python -m repro serve``).
+  (``--executor cluster`` / ``python -m repro serve``);
+- :mod:`~repro.harness.cluster.faults` — the seeded chaos harness:
+  :class:`~repro.harness.cluster.faults.FaultPlan` schedules worker
+  crashes, poison cells, frame drops/delays/corruption, slow and hung
+  cells, late duplicate results, and coordinator kills, all injected
+  at the protocol seam.
 
 Everything is standard-library Python: one coordinator thread per
 connection, blocking sockets, JSON frames.  Determinism and
 content-addressing make the fault story simple — any cell may run
 twice (requeue races its "dead" worker's late result) and the first
-result wins, bit-identical either way.
+result wins, bit-identical either way.  The failure-model contract
+(what is retried, quarantined, aborts, resumes) is documented in
+:mod:`repro.harness`.
 """
 
 from repro.harness.cluster.coordinator import ClusterCoordinator
 from repro.harness.cluster.executor import ClusterExecutor
+from repro.harness.cluster.faults import Fault, FaultPlan
 from repro.harness.cluster.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
@@ -34,13 +42,22 @@ from repro.harness.cluster.protocol import (
     spec_from_wire,
     spec_to_wire,
 )
-from repro.harness.cluster.worker import ClusterWorker, run_worker
+from repro.harness.cluster.worker import (
+    ClusterWorker,
+    CoordinatorRejected,
+    WorkerCrash,
+    run_worker,
+)
 
 __all__ = [
     "ClusterCoordinator",
     "ClusterExecutor",
     "ClusterWorker",
+    "CoordinatorRejected",
+    "WorkerCrash",
     "run_worker",
+    "Fault",
+    "FaultPlan",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "send_frame",

@@ -1,4 +1,4 @@
-"""TCP coordinator: work-stealing queue, heartbeats, requeue.
+"""TCP coordinator: work-stealing queue, heartbeats, requeue, quarantine.
 
 :class:`ClusterCoordinator` owns one campaign's pending cells.  It
 listens on a TCP port, registers workers as they ``hello``, and serves
@@ -20,11 +20,29 @@ simulation is reproducible, so a falsely-declared-dead worker's late
 ``result`` is identical to the requeued rerun — the first result for
 a cell wins, duplicates are ack'd and dropped.
 
-A worker *reporting* an ``error`` frame is different from dying: the
-failure is deterministic (an unknown benchmark stays unknown on every
-retry), so the cell is not requeued; the coordinator records the
-failure, drains the campaign, and :meth:`ClusterCoordinator.results`
-raises — mirroring how a pool run propagates worker exceptions.
+**Poison-cell quarantine.**  A requeue is attributed to the cell the
+dead worker was holding; after ``max_cell_attempts`` deaths the cell
+is *quarantined* — recorded as a ``poisoned``
+:class:`~repro.harness.store.CellFailure` and never requeued — so one
+worker-killing cell costs one cell, not every worker in turn.  A late
+result for a quarantined cell (the "dead" worker was merely slow)
+still wins: the quarantine is cleared and the result recorded.
+
+**Graceful degradation.**  A worker *reporting* an ``error`` frame is
+a deterministic failure (an unknown benchmark stays unknown on every
+retry): by default it is recorded as a :class:`CellFailure` and the
+campaign continues — one bad cell costs one cell.  ``fail_fast=True``
+restores the historical abort-on-first-error behaviour, where
+:meth:`ClusterCoordinator.results` raises like a pool run propagating
+a worker exception.
+
+**Journal.**  With a :class:`~repro.harness.journal.CampaignJournal`
+attached every state transition (steal, done, requeue, quarantine,
+failure, late-result unfail) appends one event line, and a coordinator
+built with ``resume_state`` reconstructs the previous campaign's shape:
+previously-in-flight cells re-queue at the front, attempt counts carry
+over (a poison cell does not get a fresh life per restart), and
+quarantine/failure records are re-applied instead of retried.
 """
 
 import socket
@@ -37,6 +55,7 @@ from repro.harness.cluster.protocol import (
     send_frame,
     spec_to_wire,
 )
+from repro.harness.store import CellFailure, simulation_key
 from repro.pipeline.core import SimulationResult
 
 #: Seconds a worker may stay silent before it is declared dead.
@@ -44,6 +63,9 @@ DEFAULT_HEARTBEAT_TIMEOUT = 10.0
 
 #: Seconds an idle worker is told to wait before stealing again.
 STEAL_RETRY_SECONDS = 0.05
+
+#: Worker deaths attributed to one cell before it is quarantined.
+DEFAULT_MAX_CELL_ATTEMPTS = 3
 
 
 class _WorkerState:
@@ -57,38 +79,120 @@ class _WorkerState:
         self.completed = 0
 
 
+def _spec_key(spec):
+    """Content-addressed key of one cell spec tuple."""
+    benchmark, config, scheme_name, scheme_kwargs, scale, seed = spec
+    return simulation_key(benchmark, config, scheme_name,
+                          scheme_kwargs=dict(scheme_kwargs or ()),
+                          scale=scale, seed=seed)
+
+
 class ClusterCoordinator:
     """Serves one batch of cell specs to pulling workers."""
 
     def __init__(self, specs, host="127.0.0.1", port=0,
                  heartbeat_timeout=DEFAULT_HEARTBEAT_TIMEOUT,
-                 progress=None, on_result=None):
+                 progress=None, on_result=None, on_failure=None,
+                 fail_fast=False,
+                 max_cell_attempts=DEFAULT_MAX_CELL_ATTEMPTS,
+                 journal=None, resume_state=None, fault_plan=None):
         import collections
 
         self._specs = list(specs)
+        self._keys = [_spec_key(spec) for spec in self._specs]
         self._queue = collections.deque(range(len(self._specs)))
         self._in_flight = {}  # cell_id -> worker name
         self._results = {}  # cell_id -> SimulationResult
-        self._failures = {}  # cell_id -> error string
+        self._failures = {}  # cell_id -> CellFailure (deterministic/timeout)
+        self._quarantined = {}  # cell_id -> CellFailure (poisoned)
+        self._attempts = {}  # cell_id -> worker deaths attributed
         self._workers = {}  # name -> _WorkerState
         self._attribution = {}  # worker name -> cells completed, ever
         self._requeues = 0
         self.heartbeat_timeout = heartbeat_timeout
         self.progress = progress
         self.on_result = on_result
+        self.on_failure = on_failure
+        self.fail_fast = fail_fast
+        self.max_cell_attempts = max(1, int(max_cell_attempts))
+        self._journal = journal
+        self._resume_state = resume_state
+        self._fault_plan = fault_plan
+        self._carried = []  # CellFailures re-applied from a resume
         self._lock = threading.Lock()
         self._done = threading.Event()
-        if not self._specs:
+        if resume_state is not None:
+            self._apply_resume_state(resume_state)
+        if self._settled_locked() >= len(self._specs):
             self._done.set()
         self._closed = False
         self._listener = None
         self._threads = []
         self._host, self._port = host, port
 
+    def _apply_resume_state(self, state):
+        """Reconstruct campaign shape from a replayed journal.
+
+        Previously-quarantined/failed cells are re-applied as settled
+        (an explicit resume completes the *rest* of the campaign; a
+        fresh ``serve`` retries them), attempt counts carry over, and
+        the queue is reordered so cells that were in flight at the
+        crash resume at the front.
+        """
+        remaining = []
+        for cell_id, key in enumerate(self._keys):
+            record = state.quarantined.get(key) or state.failed.get(key)
+            if record is not None:
+                failure = self._rebuild_failure(cell_id, record)
+                if failure.kind == "poisoned":
+                    self._quarantined[cell_id] = failure
+                else:
+                    self._failures[cell_id] = failure
+                self._attempts[cell_id] = failure.attempts
+                self._carried.append((cell_id, failure))
+                continue
+            self._attempts[cell_id] = state.attempts.get(key, 0)
+            remaining.append(cell_id)
+        order = {key: rank for rank, key in
+                 enumerate(state.resume_order([self._keys[i]
+                                               for i in remaining]))}
+        remaining.sort(key=lambda i: order[self._keys[i]])
+        self._queue.clear()
+        self._queue.extend(remaining)
+
+    def _rebuild_failure(self, cell_id, record):
+        try:
+            return CellFailure.from_dict(record)
+        except (TypeError, ValueError):
+            return self._make_failure(cell_id, "deterministic",
+                                      error=str(record), worker=None,
+                                      attempts=1)
+
+    def _make_failure(self, cell_id, kind, error, worker, attempts,
+                      traceback=None):
+        benchmark, config = self._specs[cell_id][0], self._specs[cell_id][1]
+        scheme = self._specs[cell_id][2]
+        return CellFailure(
+            key=self._keys[cell_id], benchmark=benchmark,
+            config_name=getattr(config, "name", str(config)),
+            scheme_name=scheme, kind=kind, attempts=attempts,
+            worker=worker, error=error, traceback=traceback,
+        )
+
     # -- lifecycle --------------------------------------------------------
 
     def start(self):
         """Bind, listen, and start the accept + liveness threads."""
+        if self._journal is not None:
+            if self._resume_state is not None:
+                self._journal.resume()
+            else:
+                self._journal.begin([self._keys[i] for i in self._queue])
+        # Re-fire callbacks for failures carried over from the journal:
+        # idempotent on the store side, and it keeps a resumed
+        # campaign's progress/failure accounting complete.
+        for cell_id, failure in self._carried:
+            self._notify_failure(cell_id, failure)
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((self._host, self._port))
@@ -140,6 +244,8 @@ class ClusterCoordinator:
             workers = list(self._workers.values())
         for state in workers:
             self._disconnect(state.conn)
+        if self._journal is not None:
+            self._journal.close()
 
     def __enter__(self):
         return self.start()
@@ -149,21 +255,40 @@ class ClusterCoordinator:
 
     # -- reading ----------------------------------------------------------
 
+    def _settled_locked(self):
+        return (len(self._results) + len(self._failures)
+                + len(self._quarantined))
+
     def results(self):
-        """All results in spec order; raises if any cell failed."""
+        """All results in spec order; failed cells are ``None``.
+
+        Raises when the campaign is incomplete, or — under
+        ``fail_fast`` — when any cell failed (the historical
+        pool-style propagation).
+        """
         with self._lock:
-            if self._failures:
-                first = sorted(self._failures.items())[0]
+            if self.fail_fast and (self._failures or self._quarantined):
+                failed = dict(self._failures)
+                failed.update(self._quarantined)
+                first_id = sorted(failed)[0]
                 raise RuntimeError(
                     "cluster campaign failed: %d cell(s) errored; first:"
-                    " cell %d: %s" % (len(self._failures), first[0], first[1])
+                    " cell %d: %s"
+                    % (len(failed), first_id, failed[first_id].error)
                 )
-            if len(self._results) != len(self._specs):
+            if self._settled_locked() != len(self._specs):
                 raise RuntimeError(
                     "cluster campaign incomplete: %d/%d cells"
-                    % (len(self._results), len(self._specs))
+                    % (self._settled_locked(), len(self._specs))
                 )
-            return [self._results[i] for i in range(len(self._specs))]
+            return [self._results.get(i) for i in range(len(self._specs))]
+
+    def failures(self):
+        """Failed/quarantined cells: ``{cell_id: CellFailure}``."""
+        with self._lock:
+            failed = dict(self._failures)
+            failed.update(self._quarantined)
+            return failed
 
     def stats(self):
         """Queue/worker counters (for status lines and tests)."""
@@ -172,6 +297,7 @@ class ClusterCoordinator:
                 "cells": len(self._specs),
                 "completed": len(self._results),
                 "failed": len(self._failures),
+                "quarantined": len(self._quarantined),
                 "queued": len(self._queue),
                 "in_flight": len(self._in_flight),
                 "requeues": self._requeues,
@@ -237,8 +363,7 @@ class ClusterCoordinator:
                                    message["result"])
                     send_frame(conn, {"kind": "ack"})
                 elif kind == "error":
-                    self._fail(name, message["cell_id"],
-                               message.get("error", "unknown error"))
+                    self._fail(name, message["cell_id"], message)
                     send_frame(conn, {"kind": "ack"})
                 elif kind == "heartbeat":
                     send_frame(conn, {"kind": "ack"})
@@ -295,9 +420,18 @@ class ClusterCoordinator:
 
     # -- queue management -------------------------------------------------
 
+    def _journal_event(self, record):
+        if self._journal is not None:
+            try:
+                self._journal.append(record)
+            except OSError:
+                pass  # a full disk must not take the campaign down
+
     def _next_cell(self, name):
         with self._lock:
-            if self._done.is_set() or self._failures:
+            if self._done.is_set():
+                return {"kind": "done"}
+            if self.fail_fast and (self._failures or self._quarantined):
                 return {"kind": "done"}
             state = self._workers.get(name)
             if state is None:
@@ -307,6 +441,9 @@ class ClusterCoordinator:
                 self._in_flight[cell_id] = name
                 state.cells.add(cell_id)
                 spec = self._specs[cell_id]
+                self._journal_event({"event": "steal",
+                                     "key": self._keys[cell_id],
+                                     "worker": name})
             elif self._in_flight:
                 # Queue drained but peers are still simulating; if one
                 # dies its cells reappear, so stay subscribed.
@@ -324,13 +461,24 @@ class ClusterCoordinator:
                 state.cells.discard(cell_id)
             if cell_id in self._results:
                 return  # late duplicate after a requeue; first wins
+            # A late result for a failed or quarantined cell is the
+            # *first result* — determinism says it is the result the
+            # requeued rerun would have produced, so it wins and the
+            # failure record dissolves.
+            cleared = (self._failures.pop(cell_id, None)
+                       or self._quarantined.pop(cell_id, None))
             self._results[cell_id] = result
             self._in_flight.pop(cell_id, None)
             if state is not None:
                 state.completed += 1
             self._attribution[name] = self._attribution.get(name, 0) + 1
-            finished = (len(self._results) + len(self._failures)
-                        >= len(self._specs))
+            if cleared is not None:
+                self._journal_event({"event": "unfail",
+                                     "key": self._keys[cell_id]})
+            self._journal_event({"event": "done",
+                                 "key": self._keys[cell_id]})
+            completed = len(self._results)
+            finished = self._settled_locked() >= len(self._specs)
         # The done event must fire even if a callback blows up (full
         # disk in the store-save, a buggy progress hook): the result is
         # already recorded, and a campaign that finished must never
@@ -339,45 +487,111 @@ class ClusterCoordinator:
             if self.on_result is not None:
                 self.on_result(cell_id, result)
             if self.progress is not None:
+                if cleared is not None:
+                    self.progress.failure_cleared(cleared.kind)
                 self.progress.cell_done(worker=name)
         finally:
             if finished:
                 self._done.set()
+        if (self._fault_plan is not None
+                and self._fault_plan.on_result_recorded(completed)):
+            # Injected coordinator death: vanish abruptly, no drain —
+            # exactly what SIGKILL looks like to workers and callers.
+            self.close()
 
-    def _fail(self, name, cell_id, error):
-        recorded = False
+    def _fail(self, name, cell_id, message):
+        error = str(message.get("error", "unknown error"))
+        kind = message.get("failure_kind", "deterministic")
+        if kind not in ("deterministic", "timeout"):
+            kind = "deterministic"
         with self._lock:
             state = self._workers.get(name)
             if state is not None:
                 state.cells.discard(cell_id)
             self._in_flight.pop(cell_id, None)
-            if (cell_id not in self._results
-                    and cell_id not in self._failures):
-                self._failures[cell_id] = str(error)
-                recorded = True
-        # Deterministic failure: retrying elsewhere cannot succeed, so
-        # fail the campaign promptly instead of draining the queue.  A
-        # late error for a cell that already completed elsewhere is a
-        # duplicate, not a failure — it must not end the campaign.
-        if recorded:
+            if (cell_id in self._results or cell_id in self._failures
+                    or cell_id in self._quarantined):
+                return  # duplicate report for a settled cell; ignore
+            failure = self._make_failure(
+                cell_id, kind, error=error, worker=name,
+                attempts=self._attempts.get(cell_id, 0) + 1,
+                traceback=message.get("traceback"),
+            )
+            self._failures[cell_id] = failure
+            self._journal_event({"event": "failure",
+                                 "key": self._keys[cell_id],
+                                 "failure": failure.to_dict()})
+            finished = self._settled_locked() >= len(self._specs)
+        self._notify_failure(cell_id, failure)
+        # Deterministic failure: retrying elsewhere cannot succeed.
+        # Under fail_fast the campaign ends promptly (results() will
+        # raise); otherwise it is record-and-continue — one bad cell
+        # costs one cell, and the rest of the grid completes.
+        if self.fail_fast or finished:
             self._done.set()
 
+    def _notify_failure(self, cell_id, failure):
+        try:
+            if self.on_failure is not None:
+                self.on_failure(cell_id, failure)
+        finally:
+            if self.progress is not None:
+                self.progress.cell_failed(worker=failure.worker,
+                                          kind=failure.kind)
+
     def _drop_worker(self, name):
-        """Requeue a dead worker's in-flight cells (idempotent)."""
+        """Requeue or quarantine a dead worker's in-flight cells.
+
+        Each cell the dead worker held gets one attributed *attempt*;
+        at ``max_cell_attempts`` the cell is quarantined instead of
+        requeued — the cell is the common factor across those deaths,
+        and feeding it to every remaining worker in turn would take the
+        whole campaign down.  Idempotent per worker.
+        """
         if name is None:
             return
+        requeued = 0
+        quarantined = []
         with self._lock:
             state = self._workers.pop(name, None)
             if state is None:
                 return
             for cell_id in sorted(state.cells, reverse=True):
-                if cell_id in self._results or cell_id in self._failures:
+                if (cell_id in self._results or cell_id in self._failures
+                        or cell_id in self._quarantined):
                     continue
-                if self._in_flight.get(cell_id) == name:
-                    del self._in_flight[cell_id]
+                if self._in_flight.get(cell_id) != name:
+                    continue
+                del self._in_flight[cell_id]
+                attempts = self._attempts.get(cell_id, 0) + 1
+                self._attempts[cell_id] = attempts
+                if attempts >= self.max_cell_attempts:
+                    failure = self._make_failure(
+                        cell_id, "poisoned", worker=name, attempts=attempts,
+                        error="worker died %d time(s) holding this cell"
+                              " (last: %s)" % (attempts, name),
+                    )
+                    self._quarantined[cell_id] = failure
+                    self._journal_event({"event": "quarantine",
+                                         "key": self._keys[cell_id],
+                                         "failure": failure.to_dict()})
+                    quarantined.append((cell_id, failure))
+                else:
                     self._queue.appendleft(cell_id)
                     self._requeues += 1
+                    self._journal_event({"event": "requeue",
+                                         "key": self._keys[cell_id],
+                                         "attempts": attempts})
+                    requeued += 1
+            finished = self._settled_locked() >= len(self._specs)
         self._disconnect(state.conn)
+        if self.progress is not None:
+            for _ in range(requeued):
+                self.progress.requeued()
+        for cell_id, failure in quarantined:
+            self._notify_failure(cell_id, failure)
+        if finished or (self.fail_fast and quarantined):
+            self._done.set()
 
     def _monitor_loop(self):
         import time

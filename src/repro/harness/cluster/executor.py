@@ -5,7 +5,9 @@ replacement for the serial loop and the multiprocessing pool: it
 stands up a :class:`~repro.harness.cluster.coordinator.ClusterCoordinator`
 for the batch, optionally spawns in-process worker threads (useful for
 loopback tests and for soaking up local cores alongside remote hosts),
-blocks until the grid drains, and returns results in spec order.
+blocks until the grid drains, and returns results in spec order —
+with ``None`` standing in for cells that failed or were quarantined
+(unless ``fail_fast``, which raises like a pool run).
 
 Remote capacity attaches at any time with::
 
@@ -14,16 +16,26 @@ Remote capacity attaches at any time with::
 Local worker threads share the Python interpreter (the GIL serialises
 them), so they are a convenience, not a scaling mechanism — real
 fan-out comes from ``work`` processes on this or other machines.
+
+Crash-safety plumbing: ``journal_path`` attaches a
+:class:`~repro.harness.journal.CampaignJournal` (``resume=True``
+replays it first, so a coordinator killed mid-campaign picks up where
+it left off), ``fault_plan`` threads a seeded
+:class:`~repro.harness.cluster.faults.FaultPlan` into the coordinator
+and every local worker, and ``worker_kwargs`` parameterises local
+workers (reconnect budget, cell timeout, ...).
 """
 
 import threading
 
 from repro.harness.cluster.coordinator import (
     DEFAULT_HEARTBEAT_TIMEOUT,
+    DEFAULT_MAX_CELL_ATTEMPTS,
     ClusterCoordinator,
 )
 from repro.harness.cluster.worker import ClusterWorker
 from repro.harness.executor import Executor
+from repro.harness.journal import CampaignJournal
 
 
 class ClusterExecutor(Executor):
@@ -33,7 +45,10 @@ class ClusterExecutor(Executor):
 
     def __init__(self, host="127.0.0.1", port=0, local_workers=0,
                  heartbeat_timeout=DEFAULT_HEARTBEAT_TIMEOUT,
-                 on_serving=None, wait_timeout=None):
+                 on_serving=None, wait_timeout=None, fail_fast=False,
+                 max_cell_attempts=DEFAULT_MAX_CELL_ATTEMPTS,
+                 journal_path=None, resume=False, fault_plan=None,
+                 worker_kwargs=None):
         self.host = host
         self.port = port
         self.local_workers = int(local_workers)
@@ -42,16 +57,32 @@ class ClusterExecutor(Executor):
         #: prints the ``work --connect`` line from it.
         self.on_serving = on_serving
         self.wait_timeout = wait_timeout
+        self.fail_fast = fail_fast
+        self.max_cell_attempts = max_cell_attempts
+        self.journal_path = journal_path
+        self.resume = resume
+        self.fault_plan = fault_plan
+        self.worker_kwargs = dict(worker_kwargs or {})
         self.last_stats = None
+        self.last_failures = {}
 
-    def run(self, specs, progress=None, on_result=None):
+    def run(self, specs, progress=None, on_result=None, on_failure=None):
         specs = list(specs)
         if not specs:
             return []
+        journal = resume_state = None
+        if self.journal_path is not None:
+            journal = CampaignJournal(self.journal_path)
+            if self.resume:
+                resume_state = CampaignJournal.load(self.journal_path)
         coordinator = ClusterCoordinator(
             specs, host=self.host, port=self.port,
             heartbeat_timeout=self.heartbeat_timeout,
-            progress=progress, on_result=on_result,
+            progress=progress, on_result=on_result, on_failure=on_failure,
+            fail_fast=self.fail_fast,
+            max_cell_attempts=self.max_cell_attempts,
+            journal=journal, resume_state=resume_state,
+            fault_plan=self.fault_plan,
         )
         coordinator.start()
         try:
@@ -64,12 +95,15 @@ class ClusterExecutor(Executor):
                     host, port, name="local-%d" % (index + 1),
                     heartbeat_interval=max(
                         0.1, self.heartbeat_timeout / 4.0),
+                    fault_plan=self.fault_plan,
+                    **self.worker_kwargs,
                 )
                 thread = threading.Thread(target=worker.run, daemon=True)
                 thread.start()
                 threads.append(thread)
             finished = coordinator.wait(self.wait_timeout)
             self.last_stats = coordinator.stats()
+            self.last_failures = coordinator.failures()
             if not finished:
                 raise RuntimeError(
                     "cluster campaign timed out after %ss: %d/%d cells"
@@ -85,6 +119,7 @@ class ClusterExecutor(Executor):
                 thread.join(timeout=5.0)
             coordinator.drain(timeout=2.0)
             self.last_stats = coordinator.stats()
+            self.last_failures = coordinator.failures()
         finally:
             coordinator.close()
         return results

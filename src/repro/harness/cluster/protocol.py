@@ -24,6 +24,16 @@ worker sends        coordinator replies                    when
 ``bye``             ``ack``                                clean exit
 ==================  =====================================  ==========
 
+**Error frames** (protocol generation 2) carry structured failure
+fields beside the message: ``failure_kind`` (``deterministic`` — the
+simulation raised, or ``timeout`` — the worker's watchdog hit its
+per-cell wall-clock deadline) and ``traceback`` (the worker-side
+format_exc, when one exists).  The coordinator folds them into the
+:class:`~repro.harness.store.CellFailure` record it persists.  These
+fields are wire-versioned: :data:`PROTOCOL_VERSION` was bumped when
+they landed, so a mixed-generation pair refuses at ``hello`` instead
+of silently degrading failure records.
+
 **Cell specs on the wire.**  :func:`spec_to_wire` expands a spec tuple
 into plain JSON — the *complete* ``CoreConfig`` parameter record
 travels with every cell (via ``CoreConfig.to_dict`` /
@@ -50,7 +60,12 @@ the *front* of the queue if its worker dies first (socket EOF/error,
 or no frame within the heartbeat timeout).  Cells are deterministic
 and content-addressed, so a "dead" worker's late result is
 indistinguishable from the requeued rerun — the first result for a
-cell wins and duplicates are ack'd and dropped.
+cell wins and duplicates are ack'd and dropped.  A cell whose worker
+dies ``max_cell_attempts`` times is *quarantined* (recorded as a
+``poisoned`` :class:`~repro.harness.store.CellFailure`, never
+requeued) so a worker-killing cell costs one cell, not every worker
+in turn; a late result for a quarantined cell still wins and clears
+the quarantine.
 """
 
 import json
@@ -60,7 +75,8 @@ import struct
 from repro.pipeline.config import config_from_dict
 
 #: Protocol generation, exchanged in hello/welcome; mismatches refuse.
-PROTOCOL_VERSION = 1
+#: 2: structured error frames (``failure_kind``/``traceback``).
+PROTOCOL_VERSION = 2
 
 #: Upper bound on one frame's payload (a full SimulationResult for a
 #: large cell is ~100 KiB; 64 MiB is comfortably above any real frame).
@@ -73,11 +89,17 @@ class ProtocolError(Exception):
     """A malformed, oversized, or out-of-protocol frame."""
 
 
-def send_frame(sock, message):
-    """Serialise ``message`` (a dict) and send it as one frame."""
+def frame_payload(message):
+    """Serialise ``message`` to the frame payload bytes (size-checked)."""
     payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
     if len(payload) > MAX_FRAME_BYTES:
         raise ProtocolError("frame of %d bytes exceeds limit" % len(payload))
+    return payload
+
+
+def send_frame(sock, message):
+    """Serialise ``message`` (a dict) and send it as one frame."""
+    payload = frame_payload(message)
     sock.sendall(_LENGTH.pack(len(payload)) + payload)
 
 

@@ -7,7 +7,8 @@ specs into a list of :class:`~repro.pipeline.core.SimulationResult`
 in spec order::
 
     class Executor:
-        def run(self, specs, progress=None, on_result=None): ...
+        def run(self, specs, progress=None, on_result=None,
+                on_failure=None): ...
 
 - ``progress`` is an optional
   :class:`~repro.harness.progress.ProgressReporter`; the backend calls
@@ -19,6 +20,12 @@ in spec order::
   :meth:`CampaignRunner.run_cell_batch` uses it to persist results
   into the :class:`~repro.harness.store.ResultStore` as they arrive,
   so an interrupted campaign keeps everything already simulated.
+- ``on_failure(index, failure)`` is the failure-side twin: a backend
+  that degrades gracefully (today, the cluster) reports each settled
+  :class:`~repro.harness.store.CellFailure` through it and returns
+  ``None`` at that index instead of raising.  Backends without
+  graceful degradation (serial, pool) never call it — a cell failure
+  there propagates as an exception, exactly as before.
 
 Three implementations exist:
 
@@ -48,7 +55,7 @@ class Executor:
 
     kind = "abstract"
 
-    def run(self, specs, progress=None, on_result=None):
+    def run(self, specs, progress=None, on_result=None, on_failure=None):
         """Simulate every spec; return results in spec order."""
         raise NotImplementedError
 
@@ -58,7 +65,7 @@ class SerialExecutor(Executor):
 
     kind = "serial"
 
-    def run(self, specs, progress=None, on_result=None):
+    def run(self, specs, progress=None, on_result=None, on_failure=None):
         results = []
         for index, spec in enumerate(specs):
             result = simulate_cell(spec)
@@ -86,7 +93,7 @@ class PoolExecutor(Executor):
     def __init__(self, jobs=None):
         self.jobs = jobs
 
-    def run(self, specs, progress=None, on_result=None):
+    def run(self, specs, progress=None, on_result=None, on_failure=None):
         specs = list(specs)
         if not specs:
             return []

@@ -68,7 +68,8 @@ def _simulate_indexed(indexed_spec):
     return index, os.getpid(), simulate_cell(spec)
 
 
-def run_cells(specs, jobs=None, progress=None, executor=None, on_result=None):
+def run_cells(specs, jobs=None, progress=None, executor=None, on_result=None,
+              on_failure=None):
     """Simulate every spec; returns results in spec order.
 
     The backend-agnostic seam: with ``executor=`` any
@@ -87,4 +88,5 @@ def run_cells(specs, jobs=None, progress=None, executor=None, on_result=None):
         jobs = default_jobs() if jobs is None else int(jobs)
         jobs = min(jobs, len(specs))
         executor = SerialExecutor() if jobs <= 1 else PoolExecutor(jobs=jobs)
-    return executor.run(specs, progress=progress, on_result=on_result)
+    return executor.run(specs, progress=progress, on_result=on_result,
+                        on_failure=on_failure)

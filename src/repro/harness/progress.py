@@ -9,6 +9,15 @@ renders throttled status lines like::
 
     [grid] 12/32 cells | 3.1 cells/s | eta 6s | worker-1:5 worker-2:7
 
+Graceful degradation (the cluster backend) reports the failure side
+through the same object: :meth:`ProgressReporter.cell_failed` settles
+a cell as failed or quarantined, :meth:`ProgressReporter.requeued`
+counts cells put back after a worker death, and
+:meth:`ProgressReporter.failure_cleared` un-settles a failure when a
+late first result wins after all.  The status line appends
+``N failed``/``N quarantined``/``N requeued`` only when nonzero, so
+clean campaigns render exactly as before.
+
 All methods are thread-safe — pool completions and cluster connection
 threads report concurrently.  ``stream=None`` keeps the reporter
 silent while still accumulating counters, which is how programmatic
@@ -29,6 +38,9 @@ class ProgressReporter:
         self.min_interval = min_interval
         self.total = 0
         self.done = 0
+        self.failed = 0
+        self.quarantined = 0
+        self.requeues = 0
         self.per_worker = {}
         self._lock = threading.Lock()
         self._started = None
@@ -42,6 +54,9 @@ class ProgressReporter:
         with self._lock:
             self.total = int(total)
             self.done = 0
+            self.failed = 0
+            self.quarantined = 0
+            self.requeues = 0
             self.per_worker = {}
             self._started = time.monotonic()
             self._last_render = 0.0
@@ -60,6 +75,32 @@ class ProgressReporter:
         if line is not None:
             print(line, file=self.stream)
 
+    def cell_failed(self, worker=None, kind="deterministic"):
+        """Settle one cell as failed (``kind="poisoned"`` → quarantined)."""
+        with self._lock:
+            if self._started is None:
+                self._started = time.monotonic()
+            if kind == "poisoned":
+                self.quarantined += 1
+            else:
+                self.failed += 1
+            line = self._maybe_render_locked()
+        if line is not None:
+            print(line, file=self.stream)
+
+    def failure_cleared(self, kind="deterministic"):
+        """Un-settle a failure: a late first result won after all."""
+        with self._lock:
+            if kind == "poisoned":
+                self.quarantined = max(0, self.quarantined - 1)
+            else:
+                self.failed = max(0, self.failed - 1)
+
+    def requeued(self, count=1):
+        """Record ``count`` cells put back on the queue (worker death)."""
+        with self._lock:
+            self.requeues += int(count)
+
     def finish(self):
         """Emit the final status line (unless it was just rendered)."""
         with self._lock:
@@ -75,10 +116,13 @@ class ProgressReporter:
         with self._lock:
             elapsed = self._elapsed_locked()
             rate = self.done / elapsed if elapsed > 0 else 0.0
-            remaining = max(0, self.total - self.done)
+            remaining = max(0, self.total - self._settled_locked())
             return {
                 "label": self.label,
                 "done": self.done,
+                "failed": self.failed,
+                "quarantined": self.quarantined,
+                "requeues": self.requeues,
                 "total": self.total,
                 "elapsed_seconds": elapsed,
                 "cells_per_second": rate,
@@ -98,12 +142,15 @@ class ProgressReporter:
             return 0.0
         return time.monotonic() - self._started
 
+    def _settled_locked(self):
+        return self.done + self.failed + self.quarantined
+
     def _maybe_render_locked(self):
         if self.stream is None:
             return None
         now = time.monotonic()
         if (now - self._last_render < self.min_interval
-                and self.done < self.total):
+                and self._settled_locked() < self.total):
             return None
         self._last_render = now
         self._rendered_done = self.done
@@ -113,9 +160,16 @@ class ProgressReporter:
         elapsed = self._elapsed_locked()
         rate = self.done / elapsed if elapsed > 0 else 0.0
         parts = ["[%s] %d/%d cells" % (self.label, self.done, self.total)]
+        if self.failed:
+            parts.append("%d failed" % self.failed)
+        if self.quarantined:
+            parts.append("%d quarantined" % self.quarantined)
+        if self.requeues:
+            parts.append("%d requeued" % self.requeues)
         parts.append("%.1f cells/s" % rate)
-        remaining = max(0, self.total - self.done)
-        if self.done >= self.total and self.total:
+        settled = self._settled_locked()
+        remaining = max(0, self.total - settled)
+        if settled >= self.total and self.total:
             parts.append("done in %.1fs" % elapsed)
         elif rate > 0:
             parts.append("eta %.0fs" % (remaining / rate))

@@ -153,6 +153,13 @@ class CampaignRunner:
         :class:`~repro.harness.progress.ProgressReporter`) is armed
         with the count of cells actually executing and fed by the
         backend as they complete.
+
+        Graceful degradation: a backend that settles cells as
+        :class:`~repro.harness.store.CellFailure` instead of raising
+        (the cluster, unless ``fail_fast``) reports them through
+        ``on_failure`` — each is persisted as a failure record in the
+        store, counted in the summary's ``failed``, and its ``None``
+        result is simply not cached, so a later campaign retries it.
         """
         jobs = self.jobs if jobs is None else jobs
         # Dedup within the batch (identical cells hash identically), so
@@ -166,7 +173,7 @@ class CampaignRunner:
             unique.append((key, benchmark, config, scheme))
 
         summary = {"total": len(unique), "cached": 0, "from_store": 0,
-                   "simulated": 0}
+                   "simulated": 0, "failed": 0}
         pending = []
         for key, benchmark, config, scheme in unique:
             if key in self._cache:
@@ -189,16 +196,30 @@ class CampaignRunner:
             # Fired by the backend as each cell completes (possibly
             # from a pool/coordinator thread): results reach the store
             # while the campaign is still running, so an interruption
-            # keeps every cell already simulated.
+            # keeps every cell already simulated.  A result also clears
+            # any failure record left by an earlier attempt — first
+            # result wins over quarantine.
             key, benchmark, config, scheme = pending[index]
             self._persist(key, result, benchmark, config, scheme, {})
+            self.store.clear_failure(key)
+
+        def persist_failure(index, failure):
+            # Failure-side twin: settle the cell's CellFailure record
+            # in the store so ``python -m repro store failures`` (and a
+            # resumed campaign) can see what went wrong.
+            self.store.save_failure(failure)
 
         results = run_cells(specs, jobs=jobs, executor=executor,
                             progress=progress,
                             on_result=persist_streaming
+                            if self.store is not None else None,
+                            on_failure=persist_failure
                             if self.store is not None else None)
         for (key, _benchmark, _config, _scheme), result in zip(pending,
                                                                results):
+            if result is None:
+                summary["failed"] += 1
+                continue
             self._cache[key] = result
             summary["simulated"] += 1
         if progress is not None:

@@ -25,6 +25,14 @@ On disk the store is one JSON file per cell under its root directory
 Filenames embed a human-readable prefix purely for browsability; only
 the digest carries identity.  Writes are atomic (temp file + rename),
 so a crashed or parallel run never leaves a truncated cell behind.
+
+Failures are first-class: a cell the campaign could not complete —
+quarantined after repeatedly killing workers, a deterministic
+exception, a watchdog timeout — persists as a :class:`CellFailure`
+record under ``failures/`` beside the results, written with the same
+atomic discipline.  A later successful result for the cell clears its
+failure record (first-result-wins), and ``python -m repro store
+failures`` lists whatever remains.
 """
 
 import hashlib
@@ -45,6 +53,47 @@ MODEL_VERSION = __version__
 DEFAULT_STORE_DIR = os.environ.get("REPRO_STORE_DIR", "results/store")
 
 _SAFE = re.compile(r"[^A-Za-z0-9._-]+")
+
+#: Recognised failure classes (see the failure-model contract in
+#: :mod:`repro.harness`): ``poisoned`` — the cell killed workers until
+#: it was quarantined; ``deterministic`` — the simulation raised;
+#: ``timeout`` — the worker's watchdog hit its wall-clock deadline.
+FAILURE_KINDS = ("poisoned", "deterministic", "timeout")
+
+
+class CellFailure:
+    """A structured record of one cell the campaign could not complete."""
+
+    __slots__ = ("key", "benchmark", "config_name", "scheme_name", "kind",
+                 "attempts", "worker", "error", "traceback")
+
+    def __init__(self, key, benchmark, config_name, scheme_name, kind,
+                 attempts=1, worker=None, error="", traceback=None):
+        if kind not in FAILURE_KINDS:
+            raise ValueError("unknown failure kind %r (choose from %s)"
+                             % (kind, ", ".join(FAILURE_KINDS)))
+        self.key = key
+        self.benchmark = benchmark
+        self.config_name = config_name
+        self.scheme_name = scheme_name
+        self.kind = kind
+        self.attempts = int(attempts)
+        self.worker = worker
+        self.error = str(error)
+        self.traceback = traceback
+
+    def to_dict(self):
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(**{slot: data.get(slot) for slot in cls.__slots__
+                      if slot in data})
+
+    def __repr__(self):
+        return ("CellFailure(%s/%s/%s, kind=%s, attempts=%d, error=%r)"
+                % (self.benchmark, self.config_name, self.scheme_name,
+                   self.kind, self.attempts, self.error))
 
 
 def _scheme_wire_version(scheme_name):
@@ -217,19 +266,100 @@ class ResultStore:
                 pass
         self._paths = {}
 
+    # -- failure records --------------------------------------------------
+
+    @property
+    def failures_dir(self):
+        return self.root / "failures"
+
+    def _failure_path(self, key):
+        for path in self.failures_dir.glob("*__%s.json" % key[:12]):
+            return path
+        return None
+
+    def save_failure(self, failure):
+        """Persist one :class:`CellFailure` atomically; returns its path.
+
+        Failures live under ``failures/`` with the same browsable
+        prefix + digest naming as results.  Saving is idempotent per
+        key (atomic replace), so a quarantine re-recorded on resume or
+        retried campaigns never duplicate.
+        """
+        directory = self.failures_dir
+        directory.mkdir(parents=True, exist_ok=True)
+        name = cell_filename(failure.benchmark, failure.config_name or "-",
+                             failure.scheme_name, failure.key)
+        path = directory / name
+        fd, tmp = tempfile.mkstemp(dir=str(directory), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(failure.to_dict(), handle, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def load_failure(self, key):
+        """The persisted :class:`CellFailure` for ``key``, or ``None``."""
+        path = self._failure_path(key)
+        if path is None:
+            return None
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+            if data.get("key") != key:
+                return None  # digest-prefix collision
+            return CellFailure.from_dict(data)
+        except (OSError, ValueError, TypeError):
+            return None
+
+    def failures(self):
+        """Every persisted failure record, sorted by benchmark/config."""
+        records = []
+        for path in sorted(self.failures_dir.glob("*.json")):
+            try:
+                with open(path) as handle:
+                    records.append(CellFailure.from_dict(json.load(handle)))
+            except (OSError, ValueError, TypeError):
+                continue
+        return records
+
+    def clear_failure(self, key):
+        """Drop the failure record for ``key`` (first-result-wins).
+
+        Called whenever a result for the cell lands — a late result
+        from a presumed-dead worker, or a retry that succeeded — so a
+        cell is never simultaneously a result and a failure.  Returns
+        True when a record was removed.
+        """
+        path = self._failure_path(key)
+        if path is None:
+            return False
+        try:
+            path.unlink()
+        except OSError:
+            return False
+        return True
+
     # -- eviction / integrity --------------------------------------------
 
     def verify(self):
-        """Integrity sweep: drop corrupt or stale cells, keep the rest.
+        """Integrity sweep: quarantine corrupt cells, drop stale ones.
 
         A cell is *corrupt* when its JSON cannot be parsed or its
         ``result`` payload no longer round-trips through
         :meth:`SimulationResult.from_dict` (truncated write survived a
-        crash, hand-edited file, schema drift); it is *stale* when its
-        ``model_version`` stamp differs from the running
-        :data:`MODEL_VERSION` (such cells are unreachable anyway —
-        their keys can never be recomputed — so they are pure dead
-        weight).  Returns ``{"scanned", "kept", "corrupt", "stale"}``.
+        crash, hand-edited file, schema drift); it is renamed aside
+        with a ``.corrupt`` suffix — out of the index, but preserved
+        for post-mortem instead of destroyed.  A cell is *stale* when
+        its ``model_version`` stamp differs from the running
+        :data:`MODEL_VERSION`; such cells are unreachable anyway (their
+        keys can never be recomputed) and are deleted as pure dead
+        weight.  Returns ``{"scanned", "kept", "corrupt", "stale"}``.
         """
         summary = {"scanned": 0, "kept": 0, "corrupt": 0, "stale": 0}
         for path in list(self._index(refresh=True).values()):
@@ -240,7 +370,10 @@ class ResultStore:
                 continue
             summary[verdict] += 1
             try:
-                path.unlink()
+                if verdict == "corrupt":
+                    os.replace(path, str(path) + ".corrupt")
+                else:
+                    path.unlink()
             except OSError:
                 pass
         self._index(refresh=True)

@@ -123,9 +123,51 @@ def test_store_verify_drops_corrupt_and_stale(tmp_path):
 
     summary = store.verify()
     assert summary == {"scanned": 4, "kept": 1, "corrupt": 2, "stale": 1}
+    # Corrupt cells are quarantined aside (forensics), not destroyed;
+    # stale cells (old model version) are plain deletions.
     assert not corrupt.exists() and not truncated.exists()
+    assert (tmp_path / (corrupt.name + ".corrupt")).exists()
+    assert (tmp_path / (truncated.name + ".corrupt")).exists()
     assert not stale.exists()
+    assert not (tmp_path / (stale.name + ".corrupt")).exists()
     assert store.load(key) is not None  # the healthy cell survived
+    # The set-aside copies are invisible to the store (not *.json).
+    assert len(store) == 1
+    assert store.verify() == {"scanned": 1, "kept": 1, "corrupt": 0,
+                              "stale": 0}
+
+
+def test_store_failure_records_round_trip(tmp_path):
+    from repro.harness.store import CellFailure
+
+    store = ResultStore(tmp_path)
+    assert store.failures() == []  # no failures/ dir yet: empty, no error
+    failure = CellFailure(key="f" * 64, benchmark="503.bwaves",
+                          config_name="small", scheme_name="baseline",
+                          kind="poisoned", attempts=3, worker="w1",
+                          error="worker died 3 time(s)", traceback=None)
+    store.save_failure(failure)
+    loaded = store.load_failure("f" * 64)
+    assert loaded.to_dict() == failure.to_dict()
+    records = store.failures()
+    assert len(records) == 1 and records[0].key == "f" * 64
+    # Failure records live under failures/ and are invisible to the
+    # result index and to verify().
+    assert len(store) == 0
+    assert store.verify()["scanned"] == 0
+    # A late first result clears the record (first-result-wins).
+    assert store.clear_failure("f" * 64)
+    assert not store.clear_failure("f" * 64)  # idempotent
+    assert store.load_failure("f" * 64) is None
+    assert store.failures() == []
+
+
+def test_cell_failure_rejects_unknown_kind():
+    from repro.harness.store import CellFailure
+
+    with pytest.raises(ValueError):
+        CellFailure(key="0" * 64, benchmark="b", config_name="c",
+                    scheme_name="s", kind="cosmic-rays")
 
 
 def test_store_gc_keeps_only_requested_keys(tmp_path):

@@ -52,7 +52,7 @@ def test_cli_store_verify_and_gc(tmp_path, capsys):
 
     assert main(["store", "verify", "--store-dir", str(tmp_path)]) == 0
     out = capsys.readouterr().out
-    assert "2 scanned" in out and "1 corrupt dropped" in out
+    assert "2 scanned" in out and "1 corrupt set aside" in out
 
     assert main(["store", "gc", "--store-dir", str(tmp_path),
                  "--benchmarks", BENCH]) == 0
@@ -65,6 +65,52 @@ def test_cli_store_verify_and_gc(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "0 kept, 1 dropped" in out
     assert len(ResultStore(tmp_path)) == 0
+
+
+def test_cli_store_failures(tmp_path, capsys):
+    from repro.harness.store import CellFailure
+
+    store = ResultStore(tmp_path)
+    # A clean store exits 0 and says so.
+    assert main(["store", "failures", "--store-dir", str(tmp_path)]) == 0
+    assert "0 recorded" in capsys.readouterr().out
+
+    store.save_failure(CellFailure(
+        key="a" * 64, benchmark=BENCH, config_name="small",
+        scheme_name="baseline", kind="timeout", attempts=2, worker="w9",
+        error="cell exceeded the 5.0s wall-clock deadline"))
+    # Any recorded failure makes the action exit nonzero (scriptable in
+    # CI as a campaign-health check).
+    assert main(["store", "failures", "--store-dir", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "1 recorded" in out
+    assert BENCH in out and "timeout" in out and "x2" in out
+    assert "wall-clock" in out
+
+
+def test_cli_serve_writes_journal_and_resumes(tmp_path, capsys):
+    from repro.harness.journal import CampaignJournal, journal_path
+
+    args = ["serve", "--scale", "0.05", "--benchmarks", BENCH,
+            "--configs", "small", "--schemes", "baseline",
+            "--host", "127.0.0.1", "--port", "0", "--local-workers", "2",
+            "--store-dir", str(tmp_path)]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "campaign drained" in out and "1 simulated" in out
+    state = CampaignJournal.load(journal_path(tmp_path))
+    assert state is not None and len(state.done) == 1
+
+    # Simulate a coordinator crash that lost the store cell: --resume
+    # replays the journal, re-simulates the missing cell, and the
+    # journal gains a session marker.
+    for cell in tmp_path.glob("*.json"):
+        cell.unlink()
+    assert main(args + ["--resume"]) == 0
+    out = capsys.readouterr().out
+    assert "1 simulated" in out
+    resumed = CampaignJournal.load(journal_path(tmp_path))
+    assert resumed.sessions == 2 and len(resumed.done) == 1
 
 
 def test_cli_bench_record(tmp_path, capsys):
@@ -144,6 +190,11 @@ def test_cli_run_unknown_experiment(capsys):
     assert "unknown experiment" in capsys.readouterr().err
 
 
-def test_cli_work_refuses_bad_coordinator():
-    with pytest.raises(OSError):
-        main(["work", "--connect", "127.0.0.1:1"])  # nothing listens
+def test_cli_work_refuses_bad_coordinator(capsys):
+    # Nothing listens: the reconnect loop (disabled here to keep the
+    # test instant) exhausts and the worker reports the loss, exit 1.
+    code = main(["work", "--connect", "127.0.0.1:1",
+                 "--max-reconnects", "0"])
+    assert code == 1
+    err = capsys.readouterr().err
+    assert "lost its coordinator" in err and "0 reconnect(s)" in err

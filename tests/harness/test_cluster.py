@@ -224,9 +224,31 @@ def test_silent_worker_times_out_and_is_requeued():
         coordinator.close()
 
 
-def test_deterministic_worker_error_fails_campaign():
-    specs = [("no.such.benchmark", SMALL, "baseline", (), 0.05, 2017)]
+def test_deterministic_worker_error_records_and_continues():
+    # Default: a deterministic failure settles the cell as a
+    # CellFailure, yields None at its index, and the rest of the grid
+    # still completes (graceful degradation).
+    bad = ("no.such.benchmark", SMALL, "baseline", (), 0.05, 2017)
+    good = ("503.bwaves", SMALL, "baseline", (), 0.05, 2017)
     executor = ClusterExecutor(local_workers=1, wait_timeout=60)
+    failures = {}
+    results = executor.run([bad, good],
+                           on_failure=lambda i, f: failures.__setitem__(i, f))
+    assert results[0] is None
+    assert results[1] is not None
+    assert list(failures) == [0]
+    assert failures[0].kind == "deterministic"
+    assert "no.such.benchmark" in failures[0].error
+    assert failures[0].traceback  # wire carries the remote traceback
+    stats = executor.last_stats
+    assert stats["failed"] == 1 and stats["quarantined"] == 0
+    assert 0 in executor.last_failures
+
+
+def test_deterministic_worker_error_fails_fast_when_asked():
+    specs = [("no.such.benchmark", SMALL, "baseline", (), 0.05, 2017)]
+    executor = ClusterExecutor(local_workers=1, wait_timeout=60,
+                               fail_fast=True)
     with pytest.raises(RuntimeError, match="no.such.benchmark|errored"):
         executor.run(specs)
 
@@ -254,6 +276,157 @@ def test_late_duplicate_error_does_not_end_campaign():
         conn.close()
         assert coordinator.stats()["failed"] == 0
         assert len(coordinator.results()) == len(specs)  # does not raise
+    finally:
+        coordinator.close()
+
+
+def test_poison_cell_is_quarantined_and_grid_completes():
+    # One cell crashes every worker that steals it; after
+    # max_cell_attempts deaths it is quarantined and the rest of the
+    # grid still completes — one poisoned cell costs one cell, not the
+    # campaign.
+    from repro.harness.cluster import Fault, FaultPlan
+
+    specs = small_specs(schemes=("baseline",))  # 2 cells, 2 benchmarks
+    poison = specs[0][0]
+    plan = FaultPlan([Fault("poison_cell", arg=poison)])
+    executor = ClusterExecutor(local_workers=3, wait_timeout=120,
+                               max_cell_attempts=2, fault_plan=plan)
+    failures = {}
+    results = executor.run(
+        specs, on_failure=lambda i, f: failures.__setitem__(i, f))
+    assert results[0] is None  # the poisoned cell
+    assert results[1] is not None  # the healthy one completed
+    assert failures[0].kind == "poisoned"
+    assert failures[0].attempts == 2
+    assert "died" in failures[0].error
+    stats = executor.last_stats
+    assert stats["quarantined"] == 1 and stats["failed"] == 0
+    assert stats["requeues"] >= 1  # the first death requeued it once
+
+
+def test_late_result_clears_quarantine_first_result_wins():
+    # A cell is quarantined (its worker presumed dead), then the
+    # presumed-dead worker's result arrives after all: determinism says
+    # it is the result any rerun would produce, so it wins and the
+    # quarantine dissolves.
+    spec = ("503.bwaves", SMALL, "baseline", (), 0.05, 2017)
+    serial = run_cells([spec], jobs=1)[0]
+
+    cleared = []
+    progress = ProgressReporter(label="test").begin(1)
+    coordinator = ClusterCoordinator([spec], heartbeat_timeout=30.0,
+                                     max_cell_attempts=1, progress=progress)
+    coordinator.start()
+    try:
+        host, port = coordinator.address
+        # Steal the cell, then vanish: with max_cell_attempts=1 the
+        # death quarantines the cell immediately.
+        doomed = socket.create_connection((host, port), timeout=5)
+        send_frame(doomed, {"kind": "hello", "worker": "doomed",
+                            "protocol": PROTOCOL_VERSION,
+                            "schemes": scheme_wire_versions()})
+        assert recv_frame(doomed)["kind"] == "welcome"
+        send_frame(doomed, {"kind": "steal"})
+        assert recv_frame(doomed)["kind"] == "cell"
+        doomed.close()
+
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            if coordinator.stats()["quarantined"] == 1:
+                break
+            time.sleep(0.02)
+        assert coordinator.stats()["quarantined"] == 1
+        assert coordinator.wait(timeout=5)  # settled (by quarantine)
+        assert progress.quarantined == 1
+        assert coordinator.results() == [None]
+
+        # The "dead" worker was merely slow: its result lands late.
+        straggler = socket.create_connection((host, port), timeout=5)
+        send_frame(straggler, {"kind": "hello", "worker": "doomed",
+                               "protocol": PROTOCOL_VERSION,
+                               "schemes": scheme_wire_versions()})
+        assert recv_frame(straggler)["kind"] == "welcome"
+        send_frame(straggler, {"kind": "result", "cell_id": 0,
+                               "result": serial.to_dict()})
+        assert recv_frame(straggler)["kind"] == "ack"
+        straggler.close()
+
+        stats = coordinator.stats()
+        assert stats["quarantined"] == 0 and stats["completed"] == 1
+        assert progress.quarantined == 0 and progress.done == 1
+        results = coordinator.results()
+        assert results[0].stats.to_dict() == serial.stats.to_dict()
+        assert coordinator.failures() == {}
+    finally:
+        coordinator.close()
+
+
+def test_worker_reconnects_after_injected_frame_drop():
+    from repro.harness.cluster import Fault, FaultPlan
+
+    specs = small_specs(schemes=("baseline",))
+    # The network eats this worker's 2nd substantive frame (its first
+    # result); the worker must reconnect and the campaign still drain.
+    plan = FaultPlan([Fault("drop_frame", worker="flaky", at=2)])
+    coordinator = ClusterCoordinator(specs, heartbeat_timeout=5.0)
+    coordinator.start()
+    try:
+        host, port = coordinator.address
+        worker = ClusterWorker(host, port, name="flaky", max_reconnects=3,
+                               reconnect_backoff=0.05, fault_plan=plan)
+        thread = threading.Thread(target=worker.run, daemon=True)
+        thread.start()
+        assert coordinator.wait(timeout=120)
+        thread.join(timeout=30)
+        assert coordinator.stats()["completed"] == len(specs)
+        assert worker.reconnects >= 1
+        assert not worker.disconnected and not worker.rejected
+        assert len(coordinator.results()) == len(specs)
+    finally:
+        coordinator.close()
+
+
+def test_worker_reconnect_budget_exhausts_against_dead_coordinator():
+    # Nothing listens on this port: every connect fails, the backoff
+    # loop spends its budget, and the worker reports disconnected.
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    host, port = probe.getsockname()
+    probe.close()  # free the port; nothing serves it now
+    worker = ClusterWorker(host, port, name="orphan", max_reconnects=2,
+                           reconnect_backoff=0.01, connect_timeout=0.5)
+    assert worker.run() == 0
+    assert worker.disconnected and not worker.rejected
+    assert worker.reconnects == 2
+
+
+def test_watchdog_converts_hung_cell_into_timeout_failure():
+    from repro.harness.cluster import Fault, FaultPlan
+
+    spec = ("503.bwaves", SMALL, "baseline", (), 0.05, 2017)
+    # The injected slow cell sleeps far past the watchdog deadline — a
+    # hung simulation, reported as a timeout instead of hanging the
+    # campaign behind an immortal heartbeat.
+    plan = FaultPlan([Fault("slow_cell", worker="hung", at=1, arg=30.0)])
+    failures = {}
+    coordinator = ClusterCoordinator(
+        [spec], heartbeat_timeout=10.0,
+        on_failure=lambda i, f: failures.__setitem__(i, f))
+    coordinator.start()
+    try:
+        host, port = coordinator.address
+        worker = ClusterWorker(host, port, name="hung", cell_timeout=0.5,
+                               fault_plan=plan)
+        thread = threading.Thread(target=worker.run, daemon=True)
+        thread.start()
+        assert coordinator.wait(timeout=60)
+        thread.join(timeout=30)
+        assert worker.timeouts == 1
+        assert failures[0].kind == "timeout"
+        assert "wall-clock" in failures[0].error
+        assert coordinator.stats()["failed"] == 1
+        assert coordinator.results() == [None]
     finally:
         coordinator.close()
 
@@ -355,9 +528,13 @@ def test_cluster_worker_surfaces_scheme_rejection(monkeypatch):
         stale[sorted(stale)[0]] += 1
         monkeypatch.setattr(worker_module, "scheme_wire_versions",
                             lambda: stale)
-        worker = ClusterWorker(host, port, name="stale-build")
+        # A generous reconnect budget must NOT be spent on a rejection:
+        # the same hello gets the same refusal every time.
+        worker = ClusterWorker(host, port, name="stale-build",
+                               max_reconnects=5)
         assert worker.run() == 0
-        assert worker.disconnected
+        assert worker.disconnected and worker.rejected
+        assert worker.reconnects == 0
         assert "scheme version mismatch" in worker.last_error
     finally:
         coordinator.close()
@@ -409,3 +586,27 @@ def test_progress_reporter_counters_and_render():
     assert snap["cells_per_second"] > 0
     line = progress.render()
     assert "4/4" in line and "w1:3" in line and "w2:1" in line
+    # A clean campaign's line carries no failure noise.
+    assert "failed" not in line and "quarantined" not in line
+
+
+def test_progress_reporter_failure_counters():
+    progress = ProgressReporter(label="grid").begin(4)
+    progress.cell_done(worker="w1")
+    progress.cell_failed(worker="w1", kind="deterministic")
+    progress.cell_failed(worker="w2", kind="poisoned")
+    progress.requeued()
+    progress.requeued()
+    snap = progress.snapshot()
+    assert snap["failed"] == 1 and snap["quarantined"] == 1
+    assert snap["requeues"] == 2
+    # Failures settle cells: 1 done + 2 failed of 4 -> 1 remaining.
+    line = progress.render()
+    assert "1/4" in line
+    assert "1 failed" in line and "1 quarantined" in line
+    assert "2 requeued" in line
+    # A late first result un-settles the matching failure class.
+    progress.failure_cleared("poisoned")
+    progress.cell_done(worker="w2")
+    snap = progress.snapshot()
+    assert snap["quarantined"] == 0 and snap["failed"] == 1

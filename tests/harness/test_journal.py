@@ -1,0 +1,115 @@
+"""Campaign journal: atomic header, append/replay, crash tolerance."""
+
+import json
+
+from repro.harness.journal import (
+    DEFAULT_JOURNAL_NAME,
+    CampaignJournal,
+    JOURNAL_FORMAT,
+    journal_path,
+)
+
+
+KEYS = ["a" * 64, "b" * 64, "c" * 64, "d" * 64]
+
+
+def test_journal_path_is_under_store_dir(tmp_path):
+    path = journal_path(tmp_path)
+    assert path.parent == tmp_path
+    assert path.name == DEFAULT_JOURNAL_NAME
+
+
+def test_journal_round_trip(tmp_path):
+    path = tmp_path / "campaign.journal.jsonl"
+    with CampaignJournal(path).begin(KEYS) as journal:
+        journal.append({"event": "steal", "key": KEYS[0], "worker": "w1"})
+        journal.append({"event": "steal", "key": KEYS[1], "worker": "w2"})
+        journal.append({"event": "done", "key": KEYS[0]})
+        journal.append({"event": "requeue", "key": KEYS[1], "attempts": 1})
+        journal.append({"event": "steal", "key": KEYS[2], "worker": "w1"})
+
+    state = CampaignJournal.load(path)
+    assert state.keys == KEYS
+    assert state.done == {KEYS[0]}
+    assert list(state.in_flight) == [KEYS[2]]
+    assert state.attempts == {KEYS[1]: 1}
+    assert state.sessions == 1
+    # In-flight cells first (steal order), then header order.
+    assert state.resume_order([KEYS[3], KEYS[1], KEYS[2]]) == [
+        KEYS[2], KEYS[1], KEYS[3]]
+
+
+def test_journal_quarantine_failure_and_unfail(tmp_path):
+    path = tmp_path / "j.jsonl"
+    record = {"key": KEYS[0], "kind": "poisoned", "attempts": 3}
+    with CampaignJournal(path).begin(KEYS) as journal:
+        journal.append({"event": "quarantine", "key": KEYS[0],
+                        "failure": record})
+        journal.append({"event": "failure", "key": KEYS[1],
+                        "failure": {"kind": "deterministic"}})
+        journal.append({"event": "unfail", "key": KEYS[1]})
+        journal.append({"event": "done", "key": KEYS[1]})
+
+    state = CampaignJournal.load(path)
+    assert state.quarantined == {KEYS[0]: record}
+    assert state.attempts[KEYS[0]] == 3
+    assert state.failed == {}  # unfail dissolved it
+    assert state.done == {KEYS[1]}
+
+
+def test_journal_resume_appends_session_marker(tmp_path):
+    path = tmp_path / "j.jsonl"
+    with CampaignJournal(path).begin(KEYS) as journal:
+        journal.append({"event": "steal", "key": KEYS[0], "worker": "w"})
+    with CampaignJournal(path).resume() as journal:
+        journal.append({"event": "done", "key": KEYS[0]})
+    state = CampaignJournal.load(path)
+    assert state.sessions == 2
+    assert state.done == {KEYS[0]}
+
+
+def test_journal_tolerates_truncated_final_line(tmp_path):
+    path = tmp_path / "j.jsonl"
+    with CampaignJournal(path).begin(KEYS) as journal:
+        journal.append({"event": "done", "key": KEYS[0]})
+    # A crash mid-append leaves half a JSON line at the end.
+    with open(path, "a") as handle:
+        handle.write('{"event": "done", "key": "trunc')
+    state = CampaignJournal.load(path)
+    assert state is not None
+    assert state.done == {KEYS[0]}
+
+
+def test_journal_stops_at_corrupt_interior_line(tmp_path):
+    path = tmp_path / "j.jsonl"
+    header = json.dumps({"journal": JOURNAL_FORMAT, "keys": KEYS})
+    lines = [header,
+             json.dumps({"event": "done", "key": KEYS[0]}),
+             "garbage not json",
+             json.dumps({"event": "done", "key": KEYS[1]})]
+    path.write_text("\n".join(lines) + "\n")
+    state = CampaignJournal.load(path)
+    # Everything before the corruption is a consistent prefix; the
+    # event after it is not trusted.
+    assert state.done == {KEYS[0]}
+
+
+def test_journal_load_rejects_missing_and_foreign(tmp_path):
+    assert CampaignJournal.load(tmp_path / "absent.jsonl") is None
+    foreign = tmp_path / "foreign.jsonl"
+    foreign.write_text('{"journal": "other-v9", "keys": []}\n')
+    assert CampaignJournal.load(foreign) is None
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    assert CampaignJournal.load(empty) is None
+
+
+def test_journal_begin_replaces_previous_campaign(tmp_path):
+    path = tmp_path / "j.jsonl"
+    with CampaignJournal(path).begin(KEYS) as journal:
+        journal.append({"event": "done", "key": KEYS[0]})
+    with CampaignJournal(path).begin(KEYS[:2]):
+        pass
+    state = CampaignJournal.load(path)
+    assert state.keys == KEYS[:2]
+    assert state.done == set()  # the old campaign's events are gone
