@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Telemetry-overhead smoke: the disabled observability path is free.
+
+Two assertions, scriptable in CI:
+
+1. *Same machine* — an observability-enabled run (cycle accounting +
+   pipeline tracing) simulates exactly the cycles and instructions of
+   the plain run, per workload.  The test suite pins slot-level
+   byte-identity on the golden grid; this repeats the check at bench
+   scale as a crash canary.
+2. *No residue* — two obs-disabled throughput passes agree within a
+   tolerance (default 3%): merely importing and constructing the
+   observability subsystem must not slow the disabled path down.
+   Timings are best-of-N per workload and the comparison retries a few
+   times, keeping the best pair, so scheduler noise cannot flake CI.
+
+The enabled-path overhead is printed for the record but *not*
+asserted — accounting does real per-cycle work and its cost is
+allowed to drift.
+
+Usage::
+
+    PYTHONPATH=src python scripts/overhead_smoke.py [--scale 0.25]
+"""
+
+import argparse
+import sys
+import time
+
+from repro.core.factory import make_scheme
+from repro.harness.bench import throughput_suite
+from repro.obs import CycleAccount, PipeTracer
+from repro.pipeline.config import MEGA
+from repro.pipeline.core import OoOCore
+
+
+def run_suite(suite, repeats, observed):
+    """Best-of-N wall time over the suite; returns (wall, shape).
+
+    ``shape`` is the tuple of (cycles, instructions) per workload —
+    the identity the enabled path must reproduce exactly.
+    """
+    total = 0.0
+    shape = []
+    for _label, program, warm in suite:
+        best = None
+        for _ in range(repeats):
+            sinks = {}
+            if observed:
+                sinks = {"account": CycleAccount(),
+                         "tracer": PipeTracer(limit=1000)}
+            core = OoOCore(program, config=MEGA,
+                           scheme=make_scheme("baseline"),
+                           warm_caches=warm, **sinks)
+            start = time.perf_counter()
+            result = core.run()
+            wall = time.perf_counter() - start
+            if best is None or wall < best:
+                best = wall
+        total += best
+        shape.append((result.cycles, result.stats.committed_instructions))
+    return total, tuple(shape)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--tolerance", type=float, default=0.03,
+                        help="max fractional gap between disabled passes")
+    parser.add_argument("--attempts", type=int, default=4,
+                        help="noisy-pair retries before failing")
+    args = parser.parse_args(argv)
+
+    suite = list(throughput_suite(scale=args.scale))
+
+    base_wall, base_shape = run_suite(suite, args.repeats, observed=False)
+    print("pass 1 (obs off): %.3fs" % base_wall)
+
+    best_gap = None
+    for attempt in range(1, args.attempts + 1):
+        wall, shape = run_suite(suite, args.repeats, observed=False)
+        assert shape == base_shape, "disabled rerun diverged"
+        gap = abs(wall - base_wall) / min(wall, base_wall)
+        print("pass %d (obs off): %.3fs  gap %.2f%%"
+              % (attempt + 1, wall, gap * 100.0))
+        if best_gap is None or gap < best_gap:
+            best_gap = gap
+        if best_gap <= args.tolerance:
+            break
+
+    obs_wall, obs_shape = run_suite(suite, args.repeats, observed=True)
+    if obs_shape != base_shape:
+        print("FAIL: observability changed the simulated machine: "
+              "%r != %r" % (obs_shape, base_shape), file=sys.stderr)
+        return 1
+    overhead = (obs_wall - base_wall) / base_wall * 100.0
+    print("enabled path: %.3fs (%+.1f%% vs disabled, informational)"
+          % (obs_wall, overhead))
+
+    if best_gap > args.tolerance:
+        print("FAIL: disabled passes disagree by %.2f%% (> %.0f%%) after "
+              "%d attempts — the disabled path is not overhead-free"
+              % (best_gap * 100.0, args.tolerance * 100.0, args.attempts),
+              file=sys.stderr)
+        return 1
+    print("ok: disabled-path passes within %.2f%% (tolerance %.0f%%)"
+          % (best_gap * 100.0, args.tolerance * 100.0))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -51,7 +51,7 @@ from repro.core import (
     make_scheme,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Instruction",

@@ -48,14 +48,24 @@ Subcommands:
 ``profile``
     cProfile one grid cell (default: the ``chase-cold`` throughput
     workload on mega/baseline) and print the top cumulative entries —
-    the starting point for any simulator performance work.
+    the starting point for any simulator performance work.  ``--sort
+    tottime`` reorders, ``--json`` emits the rows structurally.
+``pipeview``
+    Trace one throughput workload per-uop and dump it in gem5
+    O3PipeView format — open the output in Konata to scrub through
+    fetch/rename/issue/complete/retire of every instruction.
+``metrics``
+    Aggregate the ``cycacct.`` cycle-attribution extras stored with
+    every campaign cell into a per-scheme stall breakdown (slots per
+    leaf cause, scheme-delay sub-causes, conservation check).
 
 Shared flags: ``--scale`` and ``--seed`` select the workload build,
 ``--benchmarks`` restricts the suite, ``--jobs`` sets worker count,
 ``--executor {serial,pool,cluster}`` picks the backend explicitly,
-``--progress`` streams done/total + cells/sec + ETA + per-worker
-attribution to stderr, ``--store-dir`` relocates the persistent store,
-and ``--no-store`` disables it entirely (purely in-memory run).
+``--progress [human|json]`` streams done/total + cells/sec + ETA +
+per-worker attribution to stderr (``json`` emits JSONL snapshots for
+scripts), ``--store-dir`` relocates the persistent store, and
+``--no-store`` disables it entirely (purely in-memory run).
 """
 
 import argparse
@@ -104,8 +114,11 @@ def build_parser():
                        help="persistent store root (default %(default)s)")
         p.add_argument("--no-store", action="store_true",
                        help="skip the on-disk store (in-memory only)")
-        p.add_argument("--progress", action="store_true",
-                       help="stream progress/ETA lines to stderr")
+        p.add_argument("--progress", nargs="?", const="human",
+                       choices=("human", "json"), default=None,
+                       help="stream progress to stderr: human status"
+                            " lines (default when given bare) or"
+                            " machine-readable JSONL snapshots")
 
     def add_executor(p):
         p.add_argument("--executor",
@@ -249,7 +262,40 @@ def build_parser():
     profile.add_argument("--top", type=int, default=25,
                          help="profile entries to print (default 25)")
     profile.add_argument("--sort", default="cumulative",
+                         choices=("cumulative", "cumtime", "tottime"),
                          help="pstats sort key (default cumulative)")
+    profile.add_argument("--json", action="store_true",
+                         help="emit the top entries as JSON instead of"
+                              " the pstats text dump (for scripted"
+                              " regression triage)")
+
+    pipeview = sub.add_parser(
+        "pipeview",
+        help="dump a Konata-compatible O3PipeView trace of one workload")
+    pipeview.add_argument("benchmark",
+                          help="throughput workload to trace (one of the"
+                               " bench suite labels, e.g. chase-cold)")
+    pipeview.add_argument("--config", default="mega",
+                          help="BOOM config name (default mega)")
+    pipeview.add_argument("--scheme", default="baseline",
+                          type=canonical_name, choices=scheme_names(),
+                          help="scheme name (default baseline)")
+    pipeview.add_argument("--scale", type=float, default=1.0,
+                          help="workload iteration multiplier"
+                               " (default 1.0)")
+    pipeview.add_argument("--limit", type=int, default=5000,
+                          help="max uops captured (default 5000; later"
+                               " uops are dropped, not sampled)")
+    pipeview.add_argument("--output", metavar="PATH", default=None,
+                          help="write the trace to PATH instead of"
+                               " stdout")
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="per-scheme stall-attribution report over a result store")
+    metrics.add_argument("store_dir", nargs="?", default=DEFAULT_STORE_DIR,
+                         help="persistent store root"
+                              " (default %(default)s)")
     return parser
 
 
@@ -392,7 +438,8 @@ def cmd_serve(args):
     )
     summary = runner.run_grid(configs=_selected_configs(args),
                               schemes=schemes, executor=executor,
-                              progress=make_progress(True))
+                              progress=make_progress(args.progress
+                                                     or "human"))
     print(_summary_line("campaign drained", summary))
     stats = executor.last_stats
     if stats and stats["workers"]:
@@ -401,6 +448,10 @@ def cmd_serve(args):
             for name, count in sorted(stats["workers"].items()))
         print("workers: %s (requeues: %d)"
               % (attribution, stats["requeues"]))
+    if stats and stats.get("telemetry"):
+        from repro.obs.telemetry import format_rollup
+
+        print(format_rollup(stats["telemetry"]))
     if stats and (stats.get("failed") or stats.get("quarantined")):
         print("failures: %d deterministic/timeout, %d quarantined"
               " — inspect with: python -m repro store failures"
@@ -512,17 +563,63 @@ def cmd_bench(args):
 
 
 def cmd_profile(args):
+    import json
+
     from repro.harness.bench import profile_cell
 
-    text, result = profile_cell(
+    report, result = profile_cell(
         benchmark=args.benchmark, config_name=args.config,
         scheme_name=args.scheme, scale=args.scale, top=args.top,
-        sort=args.sort,
+        sort=args.sort, as_json=args.json,
     )
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0
     print("profiled %s on %s/%s: %s"
           % (args.benchmark, args.config, args.scheme,
              result.stats.summary()))
-    print(text)
+    print(report)
+    return 0
+
+
+def cmd_pipeview(args):
+    from repro.obs import trace_pipeline
+
+    tracer, result = trace_pipeline(
+        args.benchmark, config=boom_config(args.config),
+        scheme_name=args.scheme, scale=args.scale, limit=args.limit,
+    )
+    text = tracer.render()
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print("wrote %d uop record(s) to %s (open with Konata)"
+              % (len(tracer.records), args.output), file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    print("traced %s on %s/%s: %s"
+          % (args.benchmark, args.config, args.scheme,
+             result.stats.summary()), file=sys.stderr)
+    if tracer.dropped:
+        print("trace truncated: %d uop(s) beyond --limit %d dropped"
+              % (tracer.dropped, args.limit), file=sys.stderr)
+    return 0
+
+
+def cmd_metrics(args):
+    from repro.analysis.stalls import (
+        cycle_account_breakdown,
+        format_stall_report,
+    )
+
+    store = ResultStore(args.store_dir)
+    breakdown = cycle_account_breakdown(store.iter_results())
+    if not breakdown:
+        print("no cycle-accounted results under %s — run a campaign"
+              " first (accounting is always on for campaign cells)"
+              % store.root, file=sys.stderr)
+        return 1
+    print(format_stall_report(breakdown))
     return 0
 
 
@@ -534,6 +631,8 @@ _COMMANDS = {
     "schemes": cmd_schemes,
     "bench": cmd_bench,
     "profile": cmd_profile,
+    "pipeview": cmd_pipeview,
+    "metrics": cmd_metrics,
 }
 
 

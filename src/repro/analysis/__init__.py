@@ -22,8 +22,14 @@ from repro.analysis.reporting import (
     format_table,
     text_bar_chart,
 )
+from repro.analysis.stalls import (
+    cycle_account_breakdown,
+    format_stall_report,
+)
 
 __all__ = [
+    "cycle_account_breakdown",
+    "format_stall_report",
     "normalized_ipc",
     "suite_mean_ipc",
     "suite_normalized_ipc",

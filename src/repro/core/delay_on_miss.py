@@ -37,6 +37,7 @@ class DelayOnMissScheme(NDAScheme):
     """NDA's delayed broadcast, applied only to L1-missing loads."""
 
     name = "delay-on-miss"
+    delay_label = "delay-on-miss-defer"
 
     def on_load_complete(self, uop, cycle):
         if not uop.l1_miss or self.core.is_load_safe(uop.seq):

@@ -30,7 +30,7 @@ transmitters behind them.
 
 from repro.core.plugin import SchemeBase
 from repro.core.registry import KwargSpec, SchemeSpec, SchemeTiming, register
-from repro.pipeline.uop import DATA
+from repro.pipeline.uop import ADDR, DATA, WHOLE
 
 
 class FenceScheme(SchemeBase):
@@ -53,6 +53,7 @@ class FenceScheme(SchemeBase):
     #: the full-fence hot path free of any per-call mode check —
     #: ``blocks_issue`` runs once per blocked ready entry per cycle).
     loads_only = False
+    delay_label = "fence-bound-to-commit"
 
     def __init__(self, loads_only=False):
         super().__init__()
@@ -68,6 +69,14 @@ class FenceScheme(SchemeBase):
         core = self.core
         seq = uop.seq
         return seq > core.vp_now or seq in core.d_pending
+
+    def delay_subcause(self, uop):
+        # self.blocks_issue resolves the loads_only instance swap.
+        if uop.op_is_store:
+            if uop.addr_issued or not self.blocks_issue(uop, ADDR):
+                return None  # the data half is never fence-blocked
+            return self.delay_label
+        return self.delay_label if self.blocks_issue(uop, WHOLE) else None
 
     def _blocks_issue_loads_only(self, uop, half):
         """Spectre-v1-only point: fence loads alone; everything else

@@ -57,6 +57,7 @@ class NDAScheme(SchemeBase):
     name = "nda"
     allows_spec_hit_wakeup = False
     uses_taint_checkpoints = False
+    delay_label = "nda-budget-block"
 
     def __init__(self):
         super().__init__()
@@ -90,6 +91,18 @@ class NDAScheme(SchemeBase):
         self._pending.sort(key=lambda u: u.seq)
         self.deferred += 1
         self.core.stats.deferred_broadcasts += 1
+
+    def delay_subcause(self, uop):
+        """Observability probe: is a source's broadcast withheld?"""
+        withheld = {u.prd for u in self._pending
+                    if not u.killed and u.prd is not None}
+        for _due, batch in self._sched:
+            for u in batch:
+                if not u.killed and u.prd is not None:
+                    withheld.add(u.prd)
+        if withheld and (uop.prs1 in withheld or uop.prs2 in withheld):
+            return self.delay_label
+        return None
 
     # -- visibility phase ---------------------------------------------------
 

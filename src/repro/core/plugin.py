@@ -86,6 +86,9 @@ class SchemeBase:
     allows_spec_hit_wakeup = True
     #: Whether rename checkpoints carry extra scheme state (area model).
     uses_taint_checkpoints = False
+    #: Attribution label for cycles/issues this scheme delays (see
+    #: :mod:`repro.obs`); ``None`` for schemes that never delay.
+    delay_label = None
 
     def __init__(self):
         self.core = None
@@ -133,6 +136,18 @@ class SchemeBase:
     def blocks_issue(self, uop, half):
         """Mask the ready signal of ``uop`` (or a store half) if True."""
         return False
+
+    def delay_subcause(self, uop):
+        """Cycle-accounting probe: why this un-issued ROB-head uop is
+        being withheld by the scheme, or ``None`` if it is not.
+
+        Called only by the observability layer (never on the disabled
+        path), for a not-yet-issued uop (or a store with an un-issued
+        half).  Implementations must be read-only and should return
+        :attr:`delay_label` exactly when the scheme is currently
+        masking the uop's (remaining) issue.
+        """
+        return None
 
     def on_issue(self, uop, half, cycle):
         """Entry won selection.  Return False to waste the slot (nop)."""

@@ -40,6 +40,7 @@ class STTIssueScheme(SchemeBase):
     name = "stt-issue"
     allows_spec_hit_wakeup = True
     uses_taint_checkpoints = False
+    delay_label = "stt-taint-not-cleared"
 
     def __init__(self):
         super().__init__()
@@ -110,6 +111,17 @@ class STTIssueScheme(SchemeBase):
         if root is None:
             return False
         return root > self._broadcast_vp or root in self.core.d_pending
+
+    def delay_subcause(self, uop):
+        # Back-propagated YRoTs only exist after a first nop-issue
+        # (Figure 4, step 5), so attribution engages from that point.
+        if uop.op_is_store:
+            if not uop.addr_issued and self.blocks_issue(uop, ADDR):
+                return self.delay_label
+            if not uop.data_issued and self.blocks_issue(uop, DATA):
+                return self.delay_label
+            return None
+        return self.delay_label if self.blocks_issue(uop, WHOLE) else None
 
     def on_issue(self, uop, half, cycle):
         vp_now = self.core.vp_now

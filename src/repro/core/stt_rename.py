@@ -33,7 +33,7 @@ generation is not blocked by a tainted data operand.
 from repro.core.plugin import SchemeBase
 from repro.core.registry import KwargSpec, SchemeSpec, SchemeTiming, register
 from repro.isa.registers import NUM_ARCH_REGS
-from repro.pipeline.uop import ADDR, DATA
+from repro.pipeline.uop import ADDR, DATA, WHOLE
 from repro.timing.area import YROT_TAG_BITS
 from repro.timing.power import E_BROADCAST
 
@@ -44,6 +44,7 @@ class STTRenameScheme(SchemeBase):
     name = "stt-rename"
     allows_spec_hit_wakeup = True
     uses_taint_checkpoints = True
+    delay_label = "stt-taint-not-cleared"
 
     def __init__(self, split_store_taints=False):
         super().__init__()
@@ -207,6 +208,15 @@ class STTRenameScheme(SchemeBase):
         if root is None:
             return False
         return root > self._broadcast_vp or root in self.core.d_pending
+
+    def delay_subcause(self, uop):
+        if uop.op_is_store:
+            if not uop.addr_issued and self.blocks_issue(uop, ADDR):
+                return self.delay_label
+            if not uop.data_issued and self.blocks_issue(uop, DATA):
+                return self.delay_label
+            return None
+        return self.delay_label if self.blocks_issue(uop, WHOLE) else None
 
     # -- visibility phase ---------------------------------------------------
 

@@ -65,6 +65,16 @@ report back.  The contract:
   cell (``spec_to_wire``/``spec_from_wire``), so remote workers
   simulate exactly the configuration that was hashed — never a
   same-named approximation.
+- *Telemetry frames*: a ``result`` frame may carry an optional
+  ``telemetry`` sibling object (wall-clock seconds, replay counters,
+  fast-forward engagement, peak worker RSS; see
+  :func:`repro.obs.cell_telemetry`).  It rides *beside* the result —
+  never inside it, stored results stay byte-identical across backends
+  — and is unversioned: coordinators tolerate its absence, so old and
+  new builds interoperate.  The coordinator aggregates frames into
+  per-worker / per-scheme rollups
+  (:class:`repro.obs.TelemetryAggregate`) surfaced through
+  ``coordinator.stats()["telemetry"]`` and the ``serve`` summary.
 - *Requeue semantics*: a stolen cell is in-flight against its worker;
   if the worker's socket drops or it stays silent past the heartbeat
   timeout, the cell returns to the *front* of the queue and the

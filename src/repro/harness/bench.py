@@ -31,7 +31,11 @@ The suite deliberately spans the kernel's performance regimes:
 import cProfile
 import io
 import json
+import os
+import platform
 import pstats
+import subprocess
+import sys
 import time
 
 from repro.core.factory import make_scheme
@@ -99,6 +103,34 @@ def _trace_for(program):
 
         _TRACE_MEMO[id(program)] = entry = (program, record_trace(program))
     return entry[1]
+
+
+def host_metadata():
+    """Where a bench number came from: interpreter, OS, CPUs, git rev.
+
+    Throughput is only comparable within a host/interpreter pair, so
+    every BENCH_*.json records the provenance needed to bucket the
+    trajectory.  Best-effort: the git revision is ``None`` outside a
+    checkout (or without a git binary) rather than an error.
+    """
+    rev = None
+    try:
+        probe = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=5,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+        if probe.returncode == 0:
+            rev = probe.stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        rev = None
+    return {
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "git_revision": rev,
+    }
 
 
 def _run_once(program, config, scheme_name, warm):
@@ -172,6 +204,7 @@ def run_throughput_bench(config=MEGA, scheme_name="baseline", scale=1.0,
             "scheme": scheme_name,
             "scale": scale,
             "repeats": repeats,
+            "host": host_metadata(),
             "workloads": workloads,
             "aggregate": totals,
         }
@@ -191,6 +224,7 @@ def run_throughput_bench(config=MEGA, scheme_name="baseline", scale=1.0,
         "config": config.name,
         "scale": scale,
         "repeats": repeats,
+        "host": host_metadata(),
         "schemes": per_scheme,
         "aggregate": {
             "wall_seconds": round(total_wall, 6),
@@ -211,15 +245,27 @@ def format_bench_report(report, indent=2):
 # -- profiling -------------------------------------------------------------
 
 
+#: ``--sort`` choices for :func:`profile_cell` (``cumtime`` is the
+#: pstats alias for ``cumulative``; both accepted for muscle memory).
+PROFILE_SORTS = ("cumulative", "cumtime", "tottime")
+
+
 def profile_cell(benchmark="chase-cold", config_name="mega",
                  scheme_name="baseline", scale=1.0, top=25,
-                 sort="cumulative"):
-    """cProfile one grid cell; returns (stats_text, result).
+                 sort="cumulative", as_json=False):
+    """cProfile one grid cell; returns (report, result).
 
     ``benchmark`` names a throughput-suite workload (see
     :func:`throughput_suite`); the profile covers exactly one
     :meth:`OoOCore.run`, excluding workload generation and warm-up.
+    ``report`` is the classic pstats text dump, or — with
+    ``as_json=True`` — a JSON-ready dict whose ``functions`` list holds
+    the top ``top`` rows under the chosen ``sort`` order, for scripted
+    regression triage.
     """
+    if sort not in PROFILE_SORTS:
+        raise ValueError("unknown profile sort %r (choose from %s)"
+                         % (sort, ", ".join(PROFILE_SORTS)))
     config = boom_config(config_name)
     if benchmark not in THROUGHPUT_LABELS:
         raise ValueError("unknown bench workload %r (choose from %s)"
@@ -233,7 +279,44 @@ def profile_cell(benchmark="chase-cold", config_name="mega",
     profiler.enable()
     result = core.run()
     profiler.disable()
+    if as_json:
+        return _profile_json(profiler, benchmark, config_name, scheme_name,
+                             sort, top, result), result
     buffer = io.StringIO()
     stats = pstats.Stats(profiler, stream=buffer)
     stats.sort_stats(sort).print_stats(top)
     return buffer.getvalue(), result
+
+
+def _profile_json(profiler, benchmark, config_name, scheme_name, sort, top,
+                  result):
+    """Top-N profile rows as a JSON-ready dict (``--json`` contract)."""
+    stats = pstats.Stats(profiler, stream=io.StringIO())
+    # pstats rows: (file, line, func) -> (calls, prim_calls, tottime,
+    # cumtime, callers); sort here instead of round-tripping the text.
+    key = 2 if sort == "tottime" else 3
+    rows = sorted(stats.stats.items(), key=lambda item: item[1][key],
+                  reverse=True)[:max(1, top)]
+    functions = [
+        {
+            "function": func,
+            "file": filename,
+            "line": line,
+            "calls": calls,
+            "tottime": round(tottime, 6),
+            "cumtime": round(cumtime, 6),
+        }
+        for (filename, line, func), (calls, _prim, tottime, cumtime,
+                                     _callers) in rows
+    ]
+    return {
+        "benchmark": benchmark,
+        "config": config_name,
+        "scheme": scheme_name,
+        "sort": sort,
+        "top": top,
+        "simulated_cycles": result.cycles,
+        "committed_instructions": result.stats.committed_instructions,
+        "host": host_metadata(),
+        "functions": functions,
+    }

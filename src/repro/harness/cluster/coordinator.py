@@ -56,6 +56,7 @@ from repro.harness.cluster.protocol import (
     spec_to_wire,
 )
 from repro.harness.store import CellFailure, simulation_key
+from repro.obs import TelemetryAggregate
 from repro.pipeline.core import SimulationResult
 
 #: Seconds a worker may stay silent before it is declared dead.
@@ -109,6 +110,10 @@ class ClusterCoordinator:
         self._workers = {}  # name -> _WorkerState
         self._attribution = {}  # worker name -> cells completed, ever
         self._requeues = 0
+        #: Campaign-wide execution telemetry (wall time, replay
+        #: counters, peak RSS), aggregated from the optional
+        #: ``telemetry`` riding each first-winning result frame.
+        self.telemetry = TelemetryAggregate()
         self.heartbeat_timeout = heartbeat_timeout
         self.progress = progress
         self.on_result = on_result
@@ -304,6 +309,7 @@ class ClusterCoordinator:
                 # Attribution survives worker disconnects: a worker
                 # that drained and left still shows in the final tally.
                 "workers": dict(self._attribution),
+                "telemetry": self.telemetry.rollup(),
             }
 
     # -- accept / serve ---------------------------------------------------
@@ -360,7 +366,8 @@ class ClusterCoordinator:
                     send_frame(conn, self._next_cell(name))
                 elif kind == "result":
                     self._complete(name, message["cell_id"],
-                                   message["result"])
+                                   message["result"],
+                                   telemetry=message.get("telemetry"))
                     send_frame(conn, {"kind": "ack"})
                 elif kind == "error":
                     self._fail(name, message["cell_id"], message)
@@ -453,7 +460,7 @@ class ClusterCoordinator:
         return {"kind": "cell", "cell_id": cell_id,
                 "spec": spec_to_wire(spec)}
 
-    def _complete(self, name, cell_id, result_data):
+    def _complete(self, name, cell_id, result_data, telemetry=None):
         result = SimulationResult.from_dict(result_data)
         with self._lock:
             state = self._workers.get(name)
@@ -468,6 +475,9 @@ class ClusterCoordinator:
             cleared = (self._failures.pop(cell_id, None)
                        or self._quarantined.pop(cell_id, None))
             self._results[cell_id] = result
+            # First result wins ⇒ its telemetry is counted exactly
+            # once; duplicates returned above never reach here.
+            self.telemetry.add(name, self._specs[cell_id][2], telemetry)
             self._in_flight.pop(cell_id, None)
             if state is not None:
                 state.completed += 1

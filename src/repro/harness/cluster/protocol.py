@@ -24,6 +24,14 @@ worker sends        coordinator replies                    when
 ``bye``             ``ack``                                clean exit
 ==================  =====================================  ==========
 
+**Telemetry.**  A ``result`` frame may carry an optional ``telemetry``
+sibling object (see :func:`repro.obs.cell_telemetry`): wall-clock
+seconds, replay counters, fast-forward engagement, and the worker's
+peak RSS.  It rides *beside* the result, never inside it — stored
+results must stay byte-identical across backends — and it is
+deliberately unversioned: a coordinator ignores its absence, so the
+field's introduction did not bump :data:`PROTOCOL_VERSION`.
+
 **Error frames** (protocol generation 2) carry structured failure
 fields beside the message: ``failure_kind`` (``deterministic`` — the
 simulation raised, or ``timeout`` — the worker's watchdog hit its

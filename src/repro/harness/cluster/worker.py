@@ -44,6 +44,11 @@ import threading
 import time
 import traceback as traceback_module
 
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX hosts
+    resource = None
+
 from repro.core.registry import scheme_wire_versions
 from repro.harness.cluster.protocol import (
     PROTOCOL_VERSION,
@@ -52,7 +57,8 @@ from repro.harness.cluster.protocol import (
     send_frame,
     spec_from_wire,
 )
-from repro.harness.parallel import simulate_cell
+from repro.harness.parallel import last_cell_diagnostics, simulate_cell
+from repro.obs import cell_telemetry
 
 #: Fraction of the coordinator's timeout at which workers heartbeat.
 DEFAULT_HEARTBEAT_INTERVAL = 2.0
@@ -290,11 +296,12 @@ class ClusterWorker:
             try:
                 if delay:
                     time.sleep(delay)
-                return simulate_cell(spec), None
+                result = simulate_cell(spec)
+                return result, None, last_cell_diagnostics()
             except Exception as exc:
                 return None, ("deterministic",
                               "%s: %s" % (type(exc).__name__, exc),
-                              traceback_module.format_exc())
+                              traceback_module.format_exc()), None
         box = {}
 
         def _target():
@@ -302,6 +309,9 @@ class ClusterWorker:
                 if delay:
                     time.sleep(delay)
                 box["result"] = simulate_cell(spec)
+                # Diagnostics are thread-local: read them here, on the
+                # thread that simulated, not from the waiting caller.
+                box["diagnostics"] = last_cell_diagnostics()
             except BaseException as exc:
                 box["error"] = "%s: %s" % (type(exc).__name__, exc)
                 box["traceback"] = traceback_module.format_exc()
@@ -313,15 +323,30 @@ class ClusterWorker:
             self.timeouts += 1
             return None, ("timeout",
                           "cell exceeded the %.1fs wall-clock deadline"
-                          % self.cell_timeout, None)
+                          % self.cell_timeout, None), None
         if "error" in box:
-            return None, ("deterministic", box["error"], box["traceback"])
-        return box["result"], None
+            return None, ("deterministic", box["error"],
+                          box["traceback"]), None
+        return box["result"], None, box.get("diagnostics")
+
+    @staticmethod
+    def _peak_rss_kb():
+        """Process-lifetime peak RSS in KiB (``None`` off POSIX).
+
+        ``ru_maxrss`` is kibibytes on Linux; platforms reporting bytes
+        (macOS) inflate the number, which is fine for a monotonic
+        per-worker high-water mark.
+        """
+        if resource is None:  # pragma: no cover - non-POSIX hosts
+            return None
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
 
     def _run_cell(self, reply):
         cell_id = reply["cell_id"]
         spec = spec_from_wire(reply["spec"])
-        result, failure = self._simulate_guarded(spec)
+        start = time.perf_counter()
+        result, failure, diagnostics = self._simulate_guarded(spec)
+        wall = time.perf_counter() - start
         if failure is not None:
             kind, message, trace = failure
             frame = {"kind": "error", "cell_id": cell_id, "error": message,
@@ -330,8 +355,13 @@ class ClusterWorker:
                 frame["traceback"] = trace
             self._request(frame)
             return
+        # Telemetry rides beside the result, never inside it: stored
+        # results must stay byte-identical across backends and runs.
         frame = {"kind": "result", "cell_id": cell_id,
-                 "result": result.to_dict()}
+                 "result": result.to_dict(),
+                 "telemetry": cell_telemetry(
+                     result, wall, peak_rss_kb=self._peak_rss_kb(),
+                     diagnostics=diagnostics)}
         self._request(frame)
         self.cells_completed += 1
         if self.fault_plan is not None:

@@ -22,8 +22,10 @@ or just ``jobs=`` for the classic serial/pool behaviour.
 """
 
 import os
+import threading
 
 from repro.core.factory import make_scheme
+from repro.obs import CycleAccount
 from repro.pipeline.core import OoOCore
 from repro.workloads.program_cache import cached_spec_program, cached_spec_trace
 
@@ -31,6 +33,20 @@ from repro.workloads.program_cache import cached_spec_program, cached_spec_trace
 def default_jobs():
     """Worker count when the caller does not specify one."""
     return max(1, os.cpu_count() or 1)
+
+
+#: Per-thread out-of-band diagnostics of the last simulate_cell() call
+#: (cluster executor workers are threads sharing one process, so a
+#: module global would race).  Deliberately NOT part of the result:
+#: results must stay byte-identical across backends.
+_cell_diag = threading.local()
+
+
+def last_cell_diagnostics():
+    """Executor-side extras of this thread's last cell (or ``None``):
+    telemetry that has no business inside the stored result, e.g.
+    fast-forward engagement."""
+    return getattr(_cell_diag, "data", None)
 
 
 def simulate_cell(spec):
@@ -43,6 +59,11 @@ def simulate_cell(spec):
     (same content-addressed cache, same disk directory), so every cell
     of a benchmark — across schemes, configs, processes, and cluster
     workers — replays one recording instead of re-evaluating per uop.
+
+    Campaign cells always carry cycle accounting (see
+    :mod:`repro.obs`): every backend funnels through here, so stored
+    results gain identical ``cycacct.`` extras everywhere and the
+    store stays byte-identical across serial / pool / cluster runs.
     """
     benchmark, config, scheme_name, scheme_kwargs, scale, seed = spec
     program = cached_spec_program(benchmark, scale=scale, seed=seed)
@@ -53,8 +74,11 @@ def simulate_cell(spec):
         scheme=make_scheme(scheme_name, **dict(scheme_kwargs or {})),
         warm_caches=True,
         trace=trace,
+        account=CycleAccount(),
     )
-    return core.run()
+    result = core.run()
+    _cell_diag.data = {"ff_skipped_cycles": core.ff_skipped_cycles}
+    return result
 
 
 def _simulate_indexed(indexed_spec):

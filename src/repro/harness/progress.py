@@ -22,8 +22,14 @@ All methods are thread-safe — pool completions and cluster connection
 threads report concurrently.  ``stream=None`` keeps the reporter
 silent while still accumulating counters, which is how programmatic
 callers (and tests) read progress without console noise.
+
+``mode="json"`` swaps the human status line for machine-readable
+JSONL: each emission is one :meth:`ProgressReporter.snapshot` dict on
+a single line (same throttling), so scripts driving a campaign can
+consume progress without parsing the human format.
 """
 
+import json
 import sys
 import threading
 import time
@@ -32,10 +38,14 @@ import time
 class ProgressReporter:
     """Counts completed cells; renders done/total, cells/sec, ETA."""
 
-    def __init__(self, label="grid", stream=None, min_interval=0.5):
+    def __init__(self, label="grid", stream=None, min_interval=0.5,
+                 mode="human"):
+        if mode not in ("human", "json"):
+            raise ValueError("unknown progress mode %r" % (mode,))
         self.label = label
         self.stream = stream
         self.min_interval = min_interval
+        self.mode = mode
         self.total = 0
         self.done = 0
         self.failed = 0
@@ -114,21 +124,24 @@ class ProgressReporter:
     def snapshot(self):
         """Current counters as a dict (thread-safe copy)."""
         with self._lock:
-            elapsed = self._elapsed_locked()
-            rate = self.done / elapsed if elapsed > 0 else 0.0
-            remaining = max(0, self.total - self._settled_locked())
-            return {
-                "label": self.label,
-                "done": self.done,
-                "failed": self.failed,
-                "quarantined": self.quarantined,
-                "requeues": self.requeues,
-                "total": self.total,
-                "elapsed_seconds": elapsed,
-                "cells_per_second": rate,
-                "eta_seconds": remaining / rate if rate > 0 else None,
-                "per_worker": dict(self.per_worker),
-            }
+            return self._snapshot_locked()
+
+    def _snapshot_locked(self):
+        elapsed = self._elapsed_locked()
+        rate = self.done / elapsed if elapsed > 0 else 0.0
+        remaining = max(0, self.total - self._settled_locked())
+        return {
+            "label": self.label,
+            "done": self.done,
+            "failed": self.failed,
+            "quarantined": self.quarantined,
+            "requeues": self.requeues,
+            "total": self.total,
+            "elapsed_seconds": elapsed,
+            "cells_per_second": rate,
+            "eta_seconds": remaining / rate if rate > 0 else None,
+            "per_worker": dict(self.per_worker),
+        }
 
     def render(self):
         """The status line for the current counters."""
@@ -157,6 +170,8 @@ class ProgressReporter:
         return self._render_locked()
 
     def _render_locked(self):
+        if self.mode == "json":
+            return json.dumps(self._snapshot_locked(), sort_keys=True)
         elapsed = self._elapsed_locked()
         rate = self.done / elapsed if elapsed > 0 else 0.0
         parts = ["[%s] %d/%d cells" % (self.label, self.done, self.total)]
@@ -185,8 +200,15 @@ class ProgressReporter:
 
 
 def make_progress(enabled, label="grid", stream=None):
-    """A reporter printing to ``stream`` (stderr) when enabled, else None."""
+    """A reporter printing to ``stream`` (stderr) when enabled, else None.
+
+    ``enabled`` is falsy (silent), truthy (human line), or one of the
+    mode strings ``"human"`` / ``"json"`` — the CLI's ``--progress
+    [MODE]`` maps straight through.
+    """
     if not enabled:
         return None
+    mode = enabled if isinstance(enabled, str) else "human"
     return ProgressReporter(label=label,
-                            stream=stream if stream is not None else sys.stderr)
+                            stream=stream if stream is not None else sys.stderr,
+                            mode=mode)

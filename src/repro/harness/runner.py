@@ -81,15 +81,20 @@ class CampaignRunner:
             return cached
         result = self.store.load(key) if self.store is not None else None
         if result is None:
+            from repro.obs import CycleAccount
             from repro.workloads.program_cache import cached_spec_trace
 
             program = self.programs()[benchmark]
+            # Campaign cells always carry cycle accounting (matching
+            # the executor path in repro.harness.parallel), so stored
+            # extras are identical however a cell was produced.
             core = OoOCore(
                 program, config=config,
                 scheme=make_scheme(scheme_name, **scheme_kwargs),
                 warm_caches=True,
                 trace=cached_spec_trace(benchmark, scale=self.scale,
                                         seed=self.seed),
+                account=CycleAccount(),
             )
             result = core.run()
             self._persist(key, result, benchmark, config, scheme_name,

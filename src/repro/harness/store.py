@@ -206,6 +206,18 @@ class ResultStore:
                 continue
         return keys
 
+    def iter_results(self):
+        """Yield every stored :class:`SimulationResult` (analysis bulk
+        read); corrupt or foreign files are skipped silently — use
+        :meth:`verify` to surface them."""
+        for path in sorted(self._index(refresh=True).values()):
+            try:
+                with open(path) as handle:
+                    data = json.load(handle)
+                yield SimulationResult.from_dict(data["result"])
+            except (OSError, ValueError, KeyError, TypeError):
+                continue
+
     # -- round-tripping ---------------------------------------------------
 
     def load(self, key):

@@ -259,6 +259,8 @@ class OoOCore:
         watchdog_cycles=50_000,
         warm_caches=False,
         trace=None,
+        account=None,
+        tracer=None,
     ):
         self.program = program
         program.validate()
@@ -282,6 +284,12 @@ class OoOCore:
             scheme, "on_visibility_update")
         self._scheme_on_load_complete = overridden_hook(
             scheme, "on_load_complete")
+
+        # Observability sinks (see repro.obs): devirtualised like the
+        # scheme hooks — None means every call site is skipped and the
+        # disabled path stays byte-identical to a sink-free build.
+        self._obs_account = account
+        self._obs_tracer = tracer
 
         cfg = self.config
         self.stats = SimStats()
@@ -384,6 +392,10 @@ class OoOCore:
         #: bit-identical to pure stepping).
         self.ff_skipped_cycles = 0
 
+        if account is not None:
+            account.attach(self)
+        if tracer is not None:
+            tracer.attach(self)
         scheme.attach(self)
 
     # ------------------------------------------------------------------
@@ -417,7 +429,14 @@ class OoOCore:
 
     def step(self):
         """Advance the machine by one clock cycle."""
-        self._commit()
+        account = self._obs_account
+        if account is None:
+            self._commit()
+        else:
+            before = self.stats.committed_instructions
+            self._commit()
+            account.note_cycle(
+                self, self.stats.committed_instructions - before)
         if self.halted:
             self.stats.cycles = self.cycle + 1
             return
@@ -440,6 +459,8 @@ class OoOCore:
         extra = dict(self.stats.extra)
         extra.update(self.scheme.extra_stats())
         extra.update(self.hierarchy.stats())
+        if self._obs_account is not None:
+            extra.update(self._obs_account.as_extra())
         stats = replace(self.stats, extra=extra)
         return SimulationResult(
             program_name=self.program.name,
@@ -535,6 +556,10 @@ class OoOCore:
         stats = self.stats
         setattr(stats, stall_counter,
                 getattr(stats, stall_counter) + skipped)
+        if self._obs_account is not None:
+            # State is provably frozen across the window, so the
+            # window-start classification holds for every skipped cycle.
+            self._obs_account.note_skip(self, skipped)
         self.cycle = target
         stats.cycles = target
         self.ff_skipped_cycles += skipped
@@ -593,6 +618,7 @@ class OoOCore:
         cycle = self.cycle
         prf_state = self.prf.state
         pool_free = self._uop_pool._free
+        tracer = self._obs_tracer
         while rob and committed < width:
             head = rob[0]
             if not head.completed:
@@ -606,6 +632,8 @@ class OoOCore:
             self._last_commit_cycle = cycle
             committed += 1
             stats.committed_instructions += 1
+            if tracer is not None:
+                tracer.on_retire(head, cycle)
 
             if head.op_is_store:
                 self.memory[head.address] = head.mem_value
@@ -1155,6 +1183,9 @@ class OoOCore:
             victim.kill()
             squashed.append(victim)
         squashed.reverse()  # oldest-first, as recovery consumers expect
+        if self._obs_tracer is not None:
+            # Capture before the issue queue destroys scheduler state.
+            self._obs_tracer.on_squash_batch(squashed, self.cycle)
         self.iq.squash_younger(seq)
         self.lsu.squash_younger(seq)
         self.shadows.squash_younger(seq)
@@ -1207,6 +1238,11 @@ class OoOCore:
         victims = list(self.rob)
         for victim in victims:
             victim.kill()
+        if self._obs_tracer is not None:
+            # Capture before the issue queue destroys scheduler state.
+            self._obs_tracer.on_squash_batch(victims, self.cycle)
+        if self._obs_account is not None:
+            self._obs_account.note_flush()
         self.rob.clear()
         self.iq.flush()
         self.lsu.flush()

@@ -202,6 +202,10 @@ class FetchUnit:
             return None
         return entry
 
+    def redirect_stalled(self, cycle):
+        """True while fetch is waiting out a squash/flush redirect."""
+        return not self.halted and cycle < self.stalled_until
+
     def fetch_wake_cycle(self, cycle):
         """First cycle >= ``cycle`` at which the fetch side can fetch.
 

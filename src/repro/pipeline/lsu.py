@@ -70,6 +70,10 @@ class LoadStoreUnit:
     def stq_full(self):
         return len(self.stq) >= self.config.stq_entries
 
+    def occupancy(self):
+        """Current ``(ldq, stq)`` entry counts."""
+        return len(self.ldq), len(self.stq)
+
     def add_load(self, uop):
         self.ldq.append(uop)
 

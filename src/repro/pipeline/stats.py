@@ -122,6 +122,16 @@ class SimStats:
         kwargs = {k: v for k, v in data.items() if k != "extra"}
         return cls(extra=dict(data.get("extra", {})), **kwargs)
 
+    def cycle_account(self):
+        """The ``cycacct.``-namespaced extras (see :mod:`repro.obs`),
+        with the prefix stripped; empty when accounting was disabled."""
+        prefix = "cycacct."
+        return {
+            name[len(prefix):]: value
+            for name, value in self.extra.items()
+            if name.startswith(prefix)
+        }
+
     def summary(self):
         """Short human-readable summary string."""
         return (

@@ -198,3 +198,75 @@ def test_cli_work_refuses_bad_coordinator(capsys):
     assert code == 1
     err = capsys.readouterr().err
     assert "lost its coordinator" in err and "0 reconnect(s)" in err
+
+
+def test_cli_pipeview_writes_trace(tmp_path, capsys):
+    out_file = tmp_path / "trace.out"
+    code = main(["pipeview", "streaming-warm", "--config", "small",
+                 "--scale", "0.02", "--limit", "64",
+                 "--output", str(out_file)])
+    assert code == 0
+    text = out_file.read_text()
+    assert text.startswith("O3PipeView:fetch:")
+    assert "O3PipeView:retire:" in text
+    err = capsys.readouterr().err
+    assert "uop record(s)" in err and "traced streaming-warm" in err
+
+
+def test_cli_pipeview_stdout(capsys):
+    assert main(["pipeview", "streaming-warm", "--config", "small",
+                 "--scale", "0.02", "--limit", "16"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("O3PipeView:fetch:")
+
+
+def test_cli_metrics_reports_stall_breakdown(tmp_path, capsys):
+    # Empty store: exit 1 with a pointer to populate it.
+    assert main(["metrics", str(tmp_path)]) == 1
+    assert "no cycle-accounted results" in capsys.readouterr().err
+
+    assert main(["grid", "--scale", "0.05", "--benchmarks", BENCH,
+                 "--configs", "small", "--schemes", "baseline", "fence",
+                 "--store-dir", str(tmp_path)]) == 0
+    capsys.readouterr()
+    assert main(["metrics", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "baseline" in out and "fence" in out
+    assert "conservation: ok" in out
+    assert "VIOLATED" not in out
+
+
+def test_cli_profile_json(capsys):
+    code = main(["profile", "--scale", "0.02", "--json",
+                 "--sort", "tottime", "--top", "5",
+                 "--benchmark", "streaming-warm", "--config", "small"])
+    assert code == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["sort"] == "tottime"
+    assert report["benchmark"] == "streaming-warm"
+    assert 0 < len(report["functions"]) <= 5
+    times = [row["tottime"] for row in report["functions"]]
+    assert times == sorted(times, reverse=True)
+    assert report["host"]["python"]
+    assert report["simulated_cycles"] > 0
+
+
+def test_cli_grid_progress_json(tmp_path, capsys):
+    code = main(["grid", "--scale", "0.05", "--benchmarks", BENCH,
+                 "--configs", "small", "--schemes", "baseline",
+                 "--progress", "json", "--store-dir", str(tmp_path)])
+    assert code == 0
+    err_lines = [line for line in capsys.readouterr().err.splitlines()
+                 if line.startswith("{")]
+    assert err_lines, "no JSONL progress emitted"
+    snap = json.loads(err_lines[-1])
+    assert snap["done"] == snap["total"] == 1
+
+
+def test_cli_bench_reports_host_metadata(tmp_path):
+    record = tmp_path / "BENCH_HOST.json"
+    assert main(["bench", "--scale", "0.02", "--repeats", "1",
+                 "--record", str(record)]) == 0
+    host = json.loads(record.read_text())["host"]
+    assert host["python"] and host["platform"]
+    assert host["cpu_count"] >= 1
