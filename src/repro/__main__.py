@@ -247,6 +247,12 @@ def build_parser():
                             " exercises every throughput workload end"
                             " to end in seconds (CI's crash canary),"
                             " numbers not comparable to full runs")
+    bench.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"),
+                       default=None,
+                       help="skip measuring: diff two recorded bench"
+                            " reports (per-scheme/per-workload cycles/s"
+                            " delta table, warning on host-metadata"
+                            " mismatch)")
 
     profile = sub.add_parser(
         "profile", help="cProfile one grid cell (top cumulative entries)")
@@ -540,6 +546,21 @@ def cmd_schemes(args):
 
 def cmd_bench(args):
     from repro.harness.bench import format_bench_report, run_throughput_bench
+
+    if args.compare:
+        import json
+
+        from repro.harness.bench import (compare_bench_reports,
+                                         format_bench_comparison)
+
+        old_path, new_path = args.compare
+        with open(old_path) as handle:
+            old = json.load(handle)
+        with open(new_path) as handle:
+            new = json.load(handle)
+        comparison = compare_bench_reports(old, new)
+        print(format_bench_comparison(comparison))
+        return 0
 
     scale, repeats = args.scale, args.repeats
     if args.quick:

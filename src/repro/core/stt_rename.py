@@ -116,10 +116,10 @@ class STTRenameScheme(SchemeBase):
             instr = uop.instr
             if instr.is_store:
                 uop.yrot_addr = self._youngest(
-                    self._live_root(r) for r in instr.address_source_regs()
+                    self._live_root(r) for r in instr.address_source_regs
                 )
                 uop.yrot_data = self._youngest(
-                    self._live_root(r) for r in instr.data_source_regs()
+                    self._live_root(r) for r in instr.data_source_regs
                 )
                 uop.yrot = youngest((uop.yrot_addr, uop.yrot_data))
                 continue
@@ -128,7 +128,7 @@ class STTRenameScheme(SchemeBase):
             # live unless it became bound-to-commit, in which case it
             # self-invalidates, exactly like the single-uop read.
             yrot = None
-            for reg in instr.source_regs():
+            for reg in instr.source_regs:
                 root = taint_rat[reg]
                 if root is None:
                     continue
@@ -157,16 +157,16 @@ class STTRenameScheme(SchemeBase):
         instr = uop.instr
         if instr.is_store:
             uop.yrot_addr = self._youngest(
-                self._live_root(r) for r in instr.address_source_regs()
+                self._live_root(r) for r in instr.address_source_regs
             )
             uop.yrot_data = self._youngest(
-                self._live_root(r) for r in instr.data_source_regs()
+                self._live_root(r) for r in instr.data_source_regs
             )
             # Unified micro-op taint covering both operands (Section 9.2).
             uop.yrot = self._youngest((uop.yrot_addr, uop.yrot_data))
             return
 
-        yrot = self._youngest(self._live_root(r) for r in instr.source_regs())
+        yrot = self._youngest(self._live_root(r) for r in instr.source_regs)
         uop.yrot = yrot
 
         if uop.writes_reg:

@@ -169,6 +169,8 @@ def _bench_scheme(suite, config, scheme_name, repeats):
             "cycles_per_second": round(cycles / best_wall, 1),
             "committed_kips": round(instructions / best_wall / 1000.0, 3),
             "fast_forwarded_cycles": core.ff_skipped_cycles,
+            "replay_batch_events": core.replay_batch_events,
+            "replay_batch_uops": core.replay_batch_uops,
         })
     totals = {
         "wall_seconds": round(total_wall, 6),
@@ -240,6 +242,143 @@ def run_throughput_bench(config=MEGA, scheme_name="baseline", scale=1.0,
 def format_bench_report(report, indent=2):
     """Render a bench report as JSON text (the CLI contract)."""
     return json.dumps(report, indent=indent, sort_keys=False)
+
+
+# -- report comparison -----------------------------------------------------
+
+
+def _report_schemes(report):
+    """Normalise both report shapes to ``{scheme: {workloads, aggregate}}``.
+
+    Single-scheme reports key their one section under the recorded
+    scheme name, so old single-scheme BENCH files stay comparable
+    against newer multi-scheme ones.
+    """
+    if "schemes" in report:
+        return report["schemes"]
+    return {report.get("scheme", "baseline"): {
+        "workloads": report.get("workloads", []),
+        "aggregate": report.get("aggregate", {}),
+    }}
+
+
+#: Host-metadata keys whose disagreement invalidates a throughput
+#: comparison.  ``git_revision`` is deliberately absent: differing
+#: revisions are the *point* of a before/after comparison.
+_HOST_COMPARE_KEYS = ("python", "implementation", "platform", "cpu_count")
+
+
+def _delta_row(label, old_totals, new_totals):
+    old_cps = old_totals.get("cycles_per_second")
+    new_cps = new_totals.get("cycles_per_second")
+    row = {"workload": label, "old_cps": old_cps, "new_cps": new_cps,
+           "speedup": None, "delta_pct": None}
+    if old_cps and new_cps:
+        row["speedup"] = round(new_cps / old_cps, 3)
+        row["delta_pct"] = round(100.0 * (new_cps - old_cps) / old_cps, 1)
+    return row
+
+
+def compare_bench_reports(old, new):
+    """Structured delta between two bench reports (old -> new).
+
+    Produces per-scheme, per-workload cycles-per-second rows, a
+    per-scheme aggregate row, and the overall-aggregate row, plus
+    ``host_mismatches`` — human-readable disagreements between the two
+    reports' host metadata (interpreter, platform, CPU count) that make
+    wall-clock throughput numbers incomparable.  Schemes or workloads
+    present in only one report are listed in ``only_old``/``only_new``
+    rather than silently dropped.
+    """
+    mismatches = []
+    old_host = old.get("host", {})
+    new_host = new.get("host", {})
+    for key in _HOST_COMPARE_KEYS:
+        if old_host.get(key) != new_host.get(key):
+            mismatches.append("%s: %r -> %r"
+                              % (key, old_host.get(key), new_host.get(key)))
+    for key in ("config", "scale"):
+        if old.get(key) != new.get(key):
+            mismatches.append("%s: %r -> %r"
+                              % (key, old.get(key), new.get(key)))
+
+    old_schemes = _report_schemes(old)
+    new_schemes = _report_schemes(new)
+    shared = [name for name in old_schemes if name in new_schemes]
+    schemes = {}
+    for name in shared:
+        old_by_label = {w["workload"]: w
+                        for w in old_schemes[name].get("workloads", [])}
+        new_by_label = {w["workload"]: w
+                        for w in new_schemes[name].get("workloads", [])}
+        rows = [_delta_row(label, old_by_label[label], new_by_label[label])
+                for label in old_by_label if label in new_by_label]
+        schemes[name] = {
+            "workloads": rows,
+            "aggregate": _delta_row("aggregate",
+                                    old_schemes[name].get("aggregate", {}),
+                                    new_schemes[name].get("aggregate", {})),
+            "only_old": sorted(set(old_by_label) - set(new_by_label)),
+            "only_new": sorted(set(new_by_label) - set(old_by_label)),
+        }
+    return {
+        "host_mismatches": mismatches,
+        "schemes": schemes,
+        "only_old": sorted(set(old_schemes) - set(new_schemes)),
+        "only_new": sorted(set(new_schemes) - set(old_schemes)),
+        "aggregate": _delta_row("aggregate", old.get("aggregate", {}),
+                                new.get("aggregate", {})),
+    }
+
+
+def _format_delta_rows(rows, out):
+    width = max([len(r["workload"]) for r in rows] + [9])
+    header = "%-*s  %14s  %14s  %9s  %8s" % (
+        width, "workload", "old cyc/s", "new cyc/s", "speedup", "delta")
+    out.append(header)
+    out.append("-" * len(header))
+    for row in rows:
+        if row["speedup"] is None:
+            out.append("%-*s  %14s  %14s  %9s  %8s"
+                       % (width, row["workload"],
+                          row["old_cps"] if row["old_cps"] is not None
+                          else "-",
+                          row["new_cps"] if row["new_cps"] is not None
+                          else "-",
+                          "-", "-"))
+        else:
+            out.append("%-*s  %14.1f  %14.1f  %8.3fx  %+7.1f%%"
+                       % (width, row["workload"], row["old_cps"],
+                          row["new_cps"], row["speedup"],
+                          row["delta_pct"]))
+
+
+def format_bench_comparison(comparison):
+    """Render :func:`compare_bench_reports` output as an aligned text
+    table (one block per shared scheme, overall aggregate last)."""
+    out = []
+    if comparison["host_mismatches"]:
+        out.append("WARNING: reports come from different hosts/settings; "
+                   "throughput deltas are not comparable:")
+        for line in comparison["host_mismatches"]:
+            out.append("  %s" % line)
+        out.append("")
+    for name, section in comparison["schemes"].items():
+        out.append("scheme: %s" % name)
+        _format_delta_rows(section["workloads"] + [section["aggregate"]],
+                           out)
+        for key, noun in (("only_old", "old"), ("only_new", "new")):
+            if section[key]:
+                out.append("  (workloads only in %s report: %s)"
+                           % (noun, ", ".join(section[key])))
+        out.append("")
+    for key, noun in (("only_old", "old"), ("only_new", "new")):
+        if comparison[key]:
+            out.append("(schemes only in %s report: %s)"
+                       % (noun, ", ".join(comparison[key])))
+    out.append("overall:")
+    _format_delta_rows([comparison["aggregate"]], out)
+    return "\n".join(out)
 
 
 # -- profiling -------------------------------------------------------------

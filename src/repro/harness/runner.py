@@ -115,9 +115,40 @@ class CampaignRunner:
             "seed": self.seed,
         })
 
+    def preload_from_store(self, cells):
+        """Bulk-load already-stored cells into the in-process cache.
+
+        One :meth:`~repro.harness.store.ResultStore.load_many` call
+        replaces a per-cell ``load`` (and its per-miss index check)
+        for every ``(benchmark, config, scheme_name)`` in ``cells`` —
+        the figure loaders' dominant cost once a campaign has run.
+        Returns the number of cells newly cached; cells absent from
+        the store are left for :meth:`run` to simulate.
+        """
+        if self.store is None:
+            return 0
+        wanted = {}
+        for benchmark, config, scheme_name in cells:
+            key = self.cell_key(benchmark, config, scheme_name)
+            if key not in self._cache:
+                wanted[key] = True
+        if not wanted:
+            return 0
+        loaded = self.store.load_many(wanted)
+        self._cache.update(loaded)
+        return len(loaded)
+
     def suite_results(self, config, scheme_name, benchmarks=None):
-        """Results for all benchmarks under (config, scheme), in order."""
+        """Results for all benchmarks under (config, scheme), in order.
+
+        The whole suite is preloaded from the store in one bulk read
+        before any per-cell work, so a fully-populated campaign costs
+        one directory scan per suite instead of one store lookup per
+        benchmark.
+        """
         selected = benchmarks or self.benchmarks
+        self.preload_from_store(
+            [(name, config, scheme_name) for name in selected])
         return [self.run(name, config, scheme_name) for name in selected]
 
     # -- grid execution ----------------------------------------------------
@@ -179,17 +210,22 @@ class CampaignRunner:
 
         summary = {"total": len(unique), "cached": 0, "from_store": 0,
                    "simulated": 0, "failed": 0}
+        # One bulk store read for the whole batch instead of a
+        # per-cell load (each of which can re-stat the directory).
+        stored = {}
+        if self.store is not None:
+            stored = self.store.load_many(
+                key for key, _b, _c, _s in unique
+                if key not in self._cache)
         pending = []
         for key, benchmark, config, scheme in unique:
             if key in self._cache:
                 summary["cached"] += 1
                 continue
-            if self.store is not None:
-                stored = self.store.load(key)
-                if stored is not None:
-                    self._cache[key] = stored
-                    summary["from_store"] += 1
-                    continue
+            if key in stored:
+                self._cache[key] = stored[key]
+                summary["from_store"] += 1
+                continue
             pending.append((key, benchmark, config, scheme))
 
         specs = [self._cell_spec(benchmark, config, scheme)

@@ -218,6 +218,38 @@ class ResultStore:
             except (OSError, ValueError, KeyError, TypeError):
                 continue
 
+    def load_many(self, keys):
+        """Bulk read: ``{key: SimulationResult}`` for every hit.
+
+        One index refresh up front covers the whole batch, so loading N
+        cells costs one directory scan plus N file opens — not N
+        mtime-gated lookups each racing the index.  Used by the figure
+        loaders and the batch runner's pending scan; missing, corrupt,
+        or key-mismatched cells are simply absent from the returned
+        dict (callers treat absence as "needs simulating").
+        """
+        keys = list(keys)
+        index = self._index(refresh=True)
+        results = {}
+        for key in keys:
+            if key in results:
+                continue
+            path = index.get(key[:12])
+            if path is None:
+                continue
+            try:
+                with open(path) as handle:
+                    data = json.load(handle)
+            except (OSError, ValueError):
+                continue
+            if data.get("key") != key:
+                continue  # digest-prefix collision or stale file
+            try:
+                results[key] = SimulationResult.from_dict(data["result"])
+            except (ValueError, KeyError, TypeError):
+                continue
+        return results
+
     # -- round-tripping ---------------------------------------------------
 
     def load(self, key):

@@ -90,6 +90,29 @@ class OpcodeInfo:
     #: Execution has an operand-dependent observable effect.
     is_transmitter: bool = False
 
+    @cached_property
+    def is_plain_alu(self):
+        """Register-writing, non-control, non-memory: the opcode class
+        whose outcome is a pure function of its register sources — the
+        batch-replay candidates (see :mod:`repro.pipeline.core`).
+        Covers the ALU/shift/compare group, ``li``, and mul/div/rem;
+        excludes loads (live memory decides), jumps (control
+        resolution), and everything that writes no register.
+
+        ``cached_property`` stores into the instance ``__dict__``,
+        bypassing the frozen-dataclass ``__setattr__`` — the same trick
+        :attr:`Instruction.info` uses.
+        """
+        return self.writes_rd and not (self.is_load or self.is_jump)
+
+    @cached_property
+    def casts_c_shadow(self):
+        """Needs a branch checkpoint (casts a control shadow): every
+        conditional branch plus the one predicted-indirect jump (JALR —
+        the only jump that reads a register).  Cached for the rename
+        dispatcher's per-entry admission gate."""
+        return self.is_branch or (self.is_jump and self.reads_rs1)
+
 
 _ALU = OpcodeInfo(latency=1, reads_rs1=True, reads_rs2=True, writes_rd=True)
 _ALUI = OpcodeInfo(latency=1, reads_rs1=True, writes_rd=True)
@@ -204,35 +227,41 @@ class Instruction:
     def is_transmitter(self):
         return self.info.is_transmitter
 
-    @property
+    @cached_property
     def writes_rd(self):
         return self.info.writes_rd and self.rd != 0
 
+    @cached_property
     def source_regs(self):
         """Architectural source register indices actually read.
 
         Reads of ``x0`` are omitted: the zero register is never renamed
-        and can never carry a taint.
+        and can never carry a taint.  Cached tuple: static instructions
+        are renamed once per loop iteration and every scheme's rename
+        hook walks the sources, so rebuilding the container per call
+        shows up in the simulator profile.
         """
         info = self.info
-        srcs = []
+        srcs = ()
         if info.reads_rs1 and self.rs1 != 0:
-            srcs.append(self.rs1)
+            srcs += (self.rs1,)
         if info.reads_rs2 and self.rs2 != 0:
-            srcs.append(self.rs2)
+            srcs += (self.rs2,)
         return srcs
 
+    @cached_property
     def address_source_regs(self):
         """Source registers feeding address generation (memory ops only)."""
         if (self.is_load or self.is_store) and self.rs1 != 0:
-            return [self.rs1]
-        return []
+            return (self.rs1,)
+        return ()
 
+    @cached_property
     def data_source_regs(self):
         """Source registers feeding the store-data half of a store."""
         if self.is_store and self.rs2 != 0:
-            return [self.rs2]
-        return []
+            return (self.rs2,)
+        return ()
 
     def __str__(self):
         op = self.op.value

@@ -62,52 +62,52 @@ def evaluate_alu(op, a, b, imm):
     Returns the signed-64-bit result.  Control-flow and memory opcodes
     are not handled here.
     """
-    if op == Opcode.ADD:
+    if op is Opcode.ADD:
         return to_signed64(a + b)
-    if op == Opcode.SUB:
+    if op is Opcode.SUB:
         return to_signed64(a - b)
-    if op == Opcode.AND:
+    if op is Opcode.AND:
         return to_signed64(a & b)
-    if op == Opcode.OR:
+    if op is Opcode.OR:
         return to_signed64(a | b)
-    if op == Opcode.XOR:
+    if op is Opcode.XOR:
         return to_signed64(a ^ b)
-    if op == Opcode.SLT:
+    if op is Opcode.SLT:
         return 1 if a < b else 0
-    if op == Opcode.SLTU:
+    if op is Opcode.SLTU:
         return 1 if to_unsigned64(a) < to_unsigned64(b) else 0
-    if op == Opcode.SLL:
+    if op is Opcode.SLL:
         return to_signed64(a << (b & 63))
-    if op == Opcode.SRL:
+    if op is Opcode.SRL:
         return to_signed64(to_unsigned64(a) >> (b & 63))
-    if op == Opcode.SRA:
+    if op is Opcode.SRA:
         return to_signed64(a >> (b & 63))
-    if op == Opcode.ADDI:
+    if op is Opcode.ADDI:
         return to_signed64(a + imm)
-    if op == Opcode.ANDI:
+    if op is Opcode.ANDI:
         return to_signed64(a & imm)
-    if op == Opcode.ORI:
+    if op is Opcode.ORI:
         return to_signed64(a | imm)
-    if op == Opcode.XORI:
+    if op is Opcode.XORI:
         return to_signed64(a ^ imm)
-    if op == Opcode.SLTI:
+    if op is Opcode.SLTI:
         return 1 if a < imm else 0
-    if op == Opcode.SLLI:
+    if op is Opcode.SLLI:
         return to_signed64(a << (imm & 63))
-    if op == Opcode.SRLI:
+    if op is Opcode.SRLI:
         return to_signed64(to_unsigned64(a) >> (imm & 63))
-    if op == Opcode.SRAI:
+    if op is Opcode.SRAI:
         return to_signed64(a >> (imm & 63))
-    if op == Opcode.LI:
+    if op is Opcode.LI:
         return to_signed64(imm)
-    if op == Opcode.MUL:
+    if op is Opcode.MUL:
         return to_signed64(a * b)
-    if op == Opcode.DIV:
+    if op is Opcode.DIV:
         if b == 0:
             return -1
         quotient = abs(a) // abs(b)
         return to_signed64(-quotient if (a < 0) != (b < 0) else quotient)
-    if op == Opcode.REM:
+    if op is Opcode.REM:
         if b == 0:
             return to_signed64(a)
         remainder = abs(a) % abs(b)
@@ -117,17 +117,17 @@ def evaluate_alu(op, a, b, imm):
 
 def branch_taken(op, a, b):
     """Evaluate a conditional branch's direction."""
-    if op == Opcode.BEQ:
+    if op is Opcode.BEQ:
         return a == b
-    if op == Opcode.BNE:
+    if op is Opcode.BNE:
         return a != b
-    if op == Opcode.BLT:
+    if op is Opcode.BLT:
         return a < b
-    if op == Opcode.BGE:
+    if op is Opcode.BGE:
         return a >= b
-    if op == Opcode.BLTU:
+    if op is Opcode.BLTU:
         return to_unsigned64(a) < to_unsigned64(b)
-    if op == Opcode.BGEU:
+    if op is Opcode.BGEU:
         return to_unsigned64(a) >= to_unsigned64(b)
     raise ValueError("not a branch opcode: %s" % op)
 
@@ -156,24 +156,24 @@ class ReferenceInterpreter:
         op = instr.op
         next_pc = state.pc + 1
 
-        if op == Opcode.HALT:
+        if op is Opcode.HALT:
             state.halted = True
-        elif op == Opcode.NOP:
+        elif op is Opcode.NOP:
             pass
-        elif op == Opcode.LW:
+        elif op is Opcode.LW:
             address = to_unsigned64(state.read_reg(instr.rs1) + instr.imm)
             self.load_addresses.append(address)
             state.write_reg(instr.rd, state.read_mem(address))
-        elif op == Opcode.SW:
+        elif op is Opcode.SW:
             address = state.read_reg(instr.rs1) + instr.imm
             state.write_mem(address, state.read_reg(instr.rs2))
         elif instr.is_branch:
             if branch_taken(op, state.read_reg(instr.rs1), state.read_reg(instr.rs2)):
                 next_pc = instr.imm
-        elif op == Opcode.JAL:
+        elif op is Opcode.JAL:
             state.write_reg(instr.rd, state.pc + 1)
             next_pc = instr.imm
-        elif op == Opcode.JALR:
+        elif op is Opcode.JALR:
             target = to_unsigned64(state.read_reg(instr.rs1) + instr.imm)
             state.write_reg(instr.rd, state.pc + 1)
             next_pc = target

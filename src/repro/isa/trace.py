@@ -2,26 +2,32 @@
 
 A :class:`DynamicTrace` is the architectural execution of one program,
 recorded once by driving the :class:`~repro.isa.interp.ReferenceInterpreter`
-to completion and kept in compact array-of-columns form — one entry per
-retired instruction (the *trace step*):
+to completion and kept in *typed* column form — one entry per retired
+instruction (the *trace step*).  Since trace-v2 the columns are dense
+machine-word arrays (:mod:`array`) and packed byte strings, not Python
+lists: the timing replayer streams through them like a gem5-style
+trace-driven model, payloads serialise as base64 over the raw buffers
+(zero intermediate copies on little-endian hosts), and a recorded
+trace for a million-instruction workload is eight bytes per column
+entry instead of a boxed ``int`` each.
 
-``pcs``
+``pcs`` — ``array('Q')``
     the PC of each step (``pcs[0] == program.entry``);
-``next_pcs``
+``next_pcs`` — ``array('Q')``
     the architectural successor PC — for branches this encodes the
     outcome's target, for JALR the computed indirect target, for the
     final HALT step the halt PC itself;
-``results``
-    the value written to the destination register (0 for steps that
-    write nothing, including ``rd == x0``);
-``addrs``
+``results`` — ``array('q')``
+    the signed-64 value written to the destination register (0 for
+    steps that write nothing, including ``rd == x0``);
+``addrs`` — ``array('Q')``
     the effective (unsigned-64) address of each load/store step
     (0 elsewhere);
-``taken``
+``taken`` — ``bytes``
     one byte per step: 1 iff the step is a taken conditional branch
     (recorded explicitly — ``next_pc`` alone is ambiguous when a
     branch's target equals its fall-through);
-``l1_hit``
+``l1_hit`` — ``bytes``
     one byte per step: 1 iff a load's access hit a default-geometry L1
     warmed in *commit order*.  **Advisory only** — the pipeline's live
     :class:`~repro.memsys.hierarchy.MemoryHierarchy` stays authoritative
@@ -30,48 +36,173 @@ retired instruction (the *trace step*):
     exists for trace consumers (analysis tooling, future schedulers)
     that want a microarchitecture-independent locality signal.
 
-The timing pipeline (:mod:`repro.pipeline.core`) consumes the trace via
-per-uop ``trace_index`` positions maintained by the fetch unit; the
-replay contract — when a recorded outcome may substitute for in-line
-evaluation, and the purity tracking that guards it — is documented in
-the core's module docstring.
+Indexing a column yields a plain ``int`` either way, so consumers are
+layout-agnostic; constructing a :class:`DynamicTrace` from list-backed
+columns still works (they are coerced to the typed layout).
+
+**Serialisation.**  :meth:`DynamicTrace.to_payload` base64-encodes each
+column's raw buffer directly (arrays and bytes both speak the buffer
+protocol).  Word columns are canonically *little-endian*; a big-endian
+host byteswaps a scratch copy on the way out and back in, so payloads
+are interchangeable across hosts and bit-identical for the same
+execution.  :meth:`from_payload` validates the format version, the
+declared endianness/item size, base64 integrity, column-length
+agreement, and that the flag columns are strictly 0/1 — a truncated or
+corrupted persisted trace raises ``ValueError`` and the disk cache
+falls back to re-recording.  NumPy, when importable, accelerates the
+bulk payload validation; the pure-stdlib path is mandatory and
+bit-identical (``REPRO_NO_NUMPY=1`` forces it, and the test suite pins
+the equivalence).
+
+**Replay contract.**  The timing pipeline (:mod:`repro.pipeline.core`)
+consumes the trace via per-uop ``trace_index`` positions maintained by
+the fetch unit; the replay contract — when a recorded outcome may
+substitute for in-line evaluation, the purity tracking that guards it,
+and the *batch-consume* legality rules that let whole on-trace
+stretches complete as one kernel step — is documented in the core's
+module docstring.
 
 Traces are content-addressed and disk-persisted next to generated
-programs; see :mod:`repro.workloads.program_cache`.
+programs; see :mod:`repro.workloads.program_cache`.  The format bump to
+``trace-v2`` participates in the cache key, so every ``trace-v1`` file
+on disk is simply ignored and re-recorded.
 """
 
 import base64
+import binascii
+import os
+import sys
+from array import array
 
 from repro.isa.instructions import Opcode
 from repro.isa.interp import ReferenceInterpreter, branch_taken, to_unsigned64
 from repro.memsys.hierarchy import MemConfig, MemoryHierarchy
 
-#: Bumped whenever the recorded column semantics change; participates in
-#: the trace cache key (see workloads.program_cache.trace_key) so stale
-#: on-disk traces can never be replayed by a newer pipeline.
-TRACE_FORMAT_VERSION = "trace-v1"
+#: Bumped whenever the recorded column semantics *or storage format*
+#: change; participates in the trace cache key (see
+#: workloads.program_cache.trace_key) so stale on-disk traces can never
+#: be replayed by a newer pipeline.  trace-v2: typed-array columns,
+#: base64-over-raw-buffer payloads, little-endian canonical form.
+TRACE_FORMAT_VERSION = "trace-v2"
+
+#: Canonical byte order of serialised word columns.
+_PAYLOAD_ENDIAN = "little"
+_ITEMSIZE = 8
+
+#: Optional NumPy acceleration for bulk payload validation.  ``None``
+#: selects the pure-stdlib path — mandatory, bit-identical, and pinned
+#: equivalent by tests (which monkeypatch this global); the
+#: ``REPRO_NO_NUMPY`` environment variable forces it for whole runs.
+try:
+    if os.environ.get("REPRO_NO_NUMPY"):
+        _np = None
+    else:
+        import numpy as _np
+except ImportError:  # pragma: no cover - depends on environment
+    _np = None
+
+# 'q'/'Q' guarantee *at least* 8 bytes; every supported platform uses
+# exactly 8, and the payload contract depends on it.
+if array("q").itemsize != _ITEMSIZE:  # pragma: no cover - exotic ABI
+    raise ImportError("platform array('q') is not 8 bytes; "
+                      "trace serialisation unsupported")
+
+
+def _as_column(values, typecode):
+    """Coerce ``values`` to a typed column (no copy when already one)."""
+    if isinstance(values, array) and values.typecode == typecode:
+        return values
+    return array(typecode, values)
+
+
+def _as_flags(values):
+    """Coerce a 0/1 flag column to immutable packed ``bytes``."""
+    return values if isinstance(values, bytes) else bytes(values)
+
+
+def _encode_words(column):
+    """Base64 text over a word column's raw little-endian buffer."""
+    if sys.byteorder != _PAYLOAD_ENDIAN:  # pragma: no cover - BE host
+        column = array(column.typecode, column)
+        column.byteswap()
+    # arrays support the buffer protocol: no intermediate bytes copy.
+    return base64.b64encode(column).decode("ascii")
+
+
+def _decode_b64(text, what):
+    try:
+        return base64.b64decode(text, validate=True)
+    except (binascii.Error, TypeError, ValueError) as exc:
+        raise ValueError("trace column %r is not valid base64: %s"
+                         % (what, exc)) from None
+
+
+def _decode_words(text, typecode, what):
+    raw = _decode_b64(text, what)
+    if len(raw) % _ITEMSIZE:
+        raise ValueError(
+            "trace column %r is truncated (%d bytes, not a multiple of %d)"
+            % (what, len(raw), _ITEMSIZE))
+    column = array(typecode)
+    column.frombytes(raw)
+    if sys.byteorder != _PAYLOAD_ENDIAN:  # pragma: no cover - BE host
+        column.byteswap()
+    return column
+
+
+def _check_flag_column(data, what):
+    """Reject flag bytes outside {0, 1} (corruption that would silently
+    flip replay decisions).  NumPy path and stdlib path are equivalent:
+    both accept exactly the same inputs."""
+    if _np is not None:
+        if data and int(_np.frombuffer(data, dtype=_np.uint8).max()) > 1:
+            raise ValueError("trace column %r has non-boolean bytes" % what)
+    elif data and max(data) > 1:
+        raise ValueError("trace column %r has non-boolean bytes" % what)
 
 
 class DynamicTrace:
     """Column-oriented record of one program's architectural execution."""
 
     __slots__ = ("program_name", "program_len", "entry",
-                 "pcs", "next_pcs", "results", "addrs", "taken", "l1_hit")
+                 "pcs", "next_pcs", "results", "addrs", "taken", "l1_hit",
+                 "_replay_view")
 
     def __init__(self, program_name, program_len, entry,
                  pcs, next_pcs, results, addrs, taken, l1_hit):
         self.program_name = program_name
         self.program_len = program_len
         self.entry = entry
-        self.pcs = pcs
-        self.next_pcs = next_pcs
-        self.results = results
-        self.addrs = addrs
-        self.taken = taken
-        self.l1_hit = l1_hit
+        self.pcs = _as_column(pcs, "Q")
+        self.next_pcs = _as_column(next_pcs, "Q")
+        self.results = _as_column(results, "q")
+        self.addrs = _as_column(addrs, "Q")
+        self.taken = _as_flags(taken)
+        self.l1_hit = _as_flags(l1_hit)
+        self._replay_view = None
 
     def __len__(self):
         return len(self.pcs)
+
+    def replay_columns(self):
+        """``(next_pcs, results, addrs)`` as plain lists, memoised.
+
+        Typed arrays are the storage format, not the replay format: a
+        CPython ``array`` re-boxes a fresh ``int`` object on *every*
+        subscript, and the replayer reads these three columns once or
+        more per simulated uop — across every scheme of every grid
+        cell sharing the trace.  Boxing each column once here (the
+        flag columns stay ``bytes``: byte reads are cached small ints)
+        costs O(steps) per trace per process and makes the hot reads
+        ordinary list indexing; the view is built lazily so traces
+        that are only stored or transported never pay for it.
+        """
+        view = self._replay_view
+        if view is None:
+            self._replay_view = view = (list(self.next_pcs),
+                                        list(self.results),
+                                        list(self.addrs))
+        return view
 
     def check_program(self, program):
         """Light sanity check that ``program`` is the recorded one.
@@ -83,7 +214,7 @@ class DynamicTrace:
         """
         if (self.entry != program.entry
                 or self.program_len != len(program)
-                or (self.pcs and self.pcs[0] != program.entry)):
+                or (len(self.pcs) and self.pcs[0] != program.entry)):
             raise ValueError(
                 "trace/program mismatch: trace recorded for %r "
                 "(entry %d, %d instructions), got %r (entry %d, %d)"
@@ -93,41 +224,63 @@ class DynamicTrace:
     # -- serialisation ----------------------------------------------------
 
     def to_payload(self):
-        """JSON-serialisable form (see :meth:`from_payload`)."""
+        """JSON-serialisable form (see :meth:`from_payload`).
+
+        Word columns serialise as base64 over their raw little-endian
+        buffers — zero-copy on little-endian hosts — and the payload
+        records the canonical endianness and item size it was written
+        with, so a reader can refuse anything it cannot bit-exactly
+        reconstruct.
+        """
         return {
             "format_version": TRACE_FORMAT_VERSION,
+            "endian": _PAYLOAD_ENDIAN,
+            "itemsize": _ITEMSIZE,
             "program_name": self.program_name,
             "program_len": self.program_len,
             "entry": self.entry,
-            "pcs": list(self.pcs),
-            "next_pcs": list(self.next_pcs),
-            "results": list(self.results),
-            "addrs": list(self.addrs),
-            "taken": base64.b64encode(bytes(self.taken)).decode("ascii"),
-            "l1_hit": base64.b64encode(bytes(self.l1_hit)).decode("ascii"),
+            "pcs": _encode_words(self.pcs),
+            "next_pcs": _encode_words(self.next_pcs),
+            "results": _encode_words(self.results),
+            "addrs": _encode_words(self.addrs),
+            "taken": base64.b64encode(self.taken).decode("ascii"),
+            "l1_hit": base64.b64encode(self.l1_hit).decode("ascii"),
         }
 
     @classmethod
     def from_payload(cls, payload):
         """Rebuild a trace from :meth:`to_payload` output.
 
-        Raises ``ValueError`` for a different format version, so stale
-        persisted traces fall back to re-recording.
+        Raises ``ValueError`` for a different format version, a foreign
+        endianness/item size, corrupt base64, truncated buffers,
+        disagreeing column lengths, or non-boolean flag bytes — so any
+        stale or damaged persisted trace falls back to re-recording
+        instead of replaying garbage.
         """
         if payload.get("format_version") != TRACE_FORMAT_VERSION:
             raise ValueError(
                 "trace format %r != %r"
                 % (payload.get("format_version"), TRACE_FORMAT_VERSION))
+        if payload.get("endian") != _PAYLOAD_ENDIAN:
+            raise ValueError("trace payload endianness %r != %r"
+                             % (payload.get("endian"), _PAYLOAD_ENDIAN))
+        if payload.get("itemsize") != _ITEMSIZE:
+            raise ValueError("trace payload itemsize %r != %d"
+                             % (payload.get("itemsize"), _ITEMSIZE))
+        taken = _decode_b64(payload["taken"], "taken")
+        l1_hit = _decode_b64(payload["l1_hit"], "l1_hit")
+        _check_flag_column(taken, "taken")
+        _check_flag_column(l1_hit, "l1_hit")
         trace = cls(
             program_name=payload["program_name"],
             program_len=payload["program_len"],
             entry=payload["entry"],
-            pcs=list(payload["pcs"]),
-            next_pcs=list(payload["next_pcs"]),
-            results=list(payload["results"]),
-            addrs=list(payload["addrs"]),
-            taken=bytearray(base64.b64decode(payload["taken"])),
-            l1_hit=bytearray(base64.b64decode(payload["l1_hit"])),
+            pcs=_decode_words(payload["pcs"], "Q", "pcs"),
+            next_pcs=_decode_words(payload["next_pcs"], "Q", "next_pcs"),
+            results=_decode_words(payload["results"], "q", "results"),
+            addrs=_decode_words(payload["addrs"], "Q", "addrs"),
+            taken=taken,
+            l1_hit=l1_hit,
         )
         n = len(trace.pcs)
         if not all(len(col) == n for col in (
@@ -135,6 +288,12 @@ class DynamicTrace:
                 trace.taken, trace.l1_hit)):
             raise ValueError("trace columns have inconsistent lengths")
         return trace
+
+
+#: Recorder growth quantum: columns are extended a chunk at a time and
+#: written by index, so the per-step cost is four array stores instead
+#: of four ``append`` dispatches (and the interpreter step dominates).
+_RECORD_CHUNK = 8192
 
 
 def record_trace(program, mem_config=None, max_steps=5_000_000):
@@ -148,6 +307,11 @@ def record_trace(program, mem_config=None, max_steps=5_000_000):
     load against a ``mem_config`` (default geometry) hierarchy accessed
     in commit order — stores access it too (write, no prefetcher
     training), mirroring the pipeline's commit-time accesses.
+
+    The columns are recorded straight into preallocated typed buffers
+    (grown in :data:`_RECORD_CHUNK` steps, trimmed once at the end), so
+    recording allocates O(steps / chunk) objects rather than one boxed
+    entry per retired instruction.
     """
     interp = ReferenceInterpreter(program)
     state = interp.state
@@ -155,12 +319,14 @@ def record_trace(program, mem_config=None, max_steps=5_000_000):
     l1_latency = hierarchy.config.l1_latency
     read_reg = state.read_reg
 
-    pcs = []
-    next_pcs = []
-    results = []
-    addrs = []
-    taken = bytearray()
-    l1_hit = bytearray()
+    zeros = array("Q", bytes(_ITEMSIZE * _RECORD_CHUNK))
+    pcs = array("Q", zeros)
+    next_pcs = array("Q", zeros)
+    results = array("q", bytes(_ITEMSIZE * _RECORD_CHUNK))
+    addrs = array("Q", zeros)
+    taken = bytearray(_RECORD_CHUNK)
+    l1_hit = bytearray(_RECORD_CHUNK)
+    capacity = _RECORD_CHUNK
 
     steps = 0
     while not state.halted:
@@ -168,49 +334,52 @@ def record_trace(program, mem_config=None, max_steps=5_000_000):
             raise RuntimeError(
                 "program %r did not halt within %d steps while recording"
                 % (program.name, max_steps))
+        if steps == capacity:
+            pcs.extend(zeros)
+            next_pcs.extend(zeros)
+            results.extend(array("q", bytes(_ITEMSIZE * _RECORD_CHUNK)))
+            addrs.extend(zeros)
+            taken.extend(bytes(_RECORD_CHUNK))
+            l1_hit.extend(bytes(_RECORD_CHUNK))
+            capacity += _RECORD_CHUNK
         pc = state.pc
         instr = program[pc]
         op = instr.op
         info = instr.info
 
-        t = 0
-        hit = 0
-        addr = 0
         if info.is_load:
             addr = to_unsigned64(read_reg(instr.rs1) + instr.imm)
             latency, _level = hierarchy.access(addr, pc=pc)
-            hit = 1 if latency <= l1_latency else 0
+            addrs[steps] = addr
+            if latency <= l1_latency:
+                l1_hit[steps] = 1
         elif info.is_store:
             addr = to_unsigned64(read_reg(instr.rs1) + instr.imm)
             hierarchy.access(addr, pc=pc, is_write=True,
                              train_prefetcher=False)
+            addrs[steps] = addr
         elif info.is_branch:
-            t = 1 if branch_taken(op, read_reg(instr.rs1),
-                                  read_reg(instr.rs2)) else 0
+            if branch_taken(op, read_reg(instr.rs1), read_reg(instr.rs2)):
+                taken[steps] = 1
 
         interp.step()
 
-        result = 0
         if info.writes_rd and instr.rd != 0:
-            result = state.regs[instr.rd]
-        pcs.append(pc)
+            results[steps] = state.regs[instr.rd]
+        pcs[steps] = pc
         # The final HALT step records its own PC (the interpreter keeps
         # the PC parked there); the replayer never advances past it.
-        next_pcs.append(state.pc)
-        results.append(result)
-        addrs.append(addr)
-        taken.append(t)
-        l1_hit.append(hit)
+        next_pcs[steps] = state.pc
         steps += 1
 
     return DynamicTrace(
         program_name=program.name,
         program_len=len(program),
         entry=program.entry,
-        pcs=pcs,
-        next_pcs=next_pcs,
-        results=results,
-        addrs=addrs,
-        taken=taken,
-        l1_hit=l1_hit,
+        pcs=pcs[:steps],
+        next_pcs=next_pcs[:steps],
+        results=results[:steps],
+        addrs=addrs[:steps],
+        taken=bytes(taken[:steps]),
+        l1_hit=bytes(l1_hit[:steps]),
     )

@@ -31,6 +31,11 @@ first divergence — the fetch stream beyond that point is wrong-path and
 will be squashed.  :meth:`FetchUnit.redirect` accepts the recovery
 position computed by the core's squash/flush handlers, which is how the
 stream re-enters the trace after a misprediction.
+
+Since trace-v2 the trace columns are typed arrays (``array('Q')`` etc.,
+see :mod:`repro.isa.trace`); indexing them here still yields plain
+``int``s, so the position-advance logic is layout-agnostic — the fetch
+unit only ever compares ``next_pcs[pos]`` against its predicted PC.
 """
 
 from collections import deque
@@ -95,7 +100,11 @@ class FetchUnit:
         self._entry_pool = []
         # Trace replay: architectural successor column and the current
         # fetch-stream position within the trace (-1 = off-trace).
-        self._tr_next = trace.next_pcs if trace is not None else None
+        # Boxed list view: fetch reads one successor per on-trace
+        # instruction, and array subscripts re-box per read (see
+        # DynamicTrace.replay_columns).
+        self._tr_next = (trace.replay_columns()[0]
+                         if trace is not None else None)
         self.trace_pos = 0 if trace is not None else -1
 
     # -- per-cycle fetch -----------------------------------------------------
@@ -108,18 +117,21 @@ class FetchUnit:
         program_len = len(program)
         queue = self.queue
         buffer_limit = self.config.fetch_buffer_entries
-        stats = self.core.stats
         entry_pool = self._entry_pool
         tr_next = self._tr_next
+        # PC, trace position, and the fetch counter live in locals for
+        # the duration of the loop (one attribute write each at the
+        # single exit point below instead of one per fetched entry).
         pos = self.trace_pos
+        fetch_pc = self.fetch_pc
+        fetched = 0
         while budget > 0 and len(queue) < buffer_limit:
-            if not 0 <= self.fetch_pc < program_len:
+            if not 0 <= fetch_pc < program_len:
                 # Wrong-path fetch ran off the program; wait for the
                 # inevitable squash to redirect us.
                 self.halted = True
-                self.trace_pos = pos
-                return
-            pc = self.fetch_pc
+                break
+            pc = fetch_pc
             instr = program[pc]
             if entry_pool:
                 # Inlined FetchEntry.reset (hot path: one per fetch).
@@ -133,7 +145,7 @@ class FetchUnit:
             else:
                 entry = FetchEntry(pc, instr, cycle)
             entry.trace_index = pos
-            stats.fetched_instructions += 1
+            fetched += 1
             budget -= 1
 
             op = instr.op
@@ -142,8 +154,7 @@ class FetchUnit:
                 # parks there too (its successor is itself).
                 queue.append(entry)
                 self.halted = True
-                self.trace_pos = pos
-                return
+                break
 
             if instr.info.is_branch:
                 entry.ghr_before = self.predictor.snapshot()
@@ -151,7 +162,7 @@ class FetchUnit:
                 entry.pred_taken = taken
                 entry.pred_target = instr.imm if taken else pc + 1
                 queue.append(entry)
-                self.fetch_pc = entry.pred_target
+                fetch_pc = entry.pred_target
                 if pos >= 0:
                     # Stay on-trace only while prediction matches the
                     # architectural successor; a divergence here is a
@@ -159,19 +170,17 @@ class FetchUnit:
                     # it is wrong path until the squash recovers us.
                     pos = pos + 1 if entry.pred_target == tr_next[pos] else -1
                 if taken:
-                    self.trace_pos = pos
-                    return  # taken control ends the fetch group
+                    break  # taken control ends the fetch group
                 continue
 
             if op is Opcode.JAL:
                 entry.pred_taken = True
                 entry.pred_target = instr.imm
                 queue.append(entry)
-                self.fetch_pc = instr.imm
+                fetch_pc = instr.imm
                 if pos >= 0:
                     pos += 1  # unconditional: predicted == architectural
-                self.trace_pos = pos
-                return
+                break
 
             if op is Opcode.JALR:
                 entry.ghr_before = self.predictor.snapshot()
@@ -179,17 +188,19 @@ class FetchUnit:
                 entry.pred_taken = True
                 entry.pred_target = predicted if predicted is not None else pc + 1
                 queue.append(entry)
-                self.fetch_pc = entry.pred_target
+                fetch_pc = entry.pred_target
                 if pos >= 0:
                     pos = pos + 1 if entry.pred_target == tr_next[pos] else -1
-                self.trace_pos = pos
-                return
+                break
 
             queue.append(entry)
-            self.fetch_pc = pc + 1
+            fetch_pc = pc + 1
             if pos >= 0:
                 pos += 1  # plain op: fall-through == architectural
+        self.fetch_pc = fetch_pc
         self.trace_pos = pos
+        if fetched:
+            self.core.stats.fetched_instructions += fetched
 
     # -- rename-side interface ---------------------------------------------------
 

@@ -30,7 +30,6 @@ schemes can stash extra state in the checkpoint via the
 
 from collections import deque
 
-from repro.isa.instructions import Opcode
 from repro.isa.registers import NUM_ARCH_REGS
 
 
@@ -121,7 +120,6 @@ class RenameUnit:
         """
         rat = self.rat
         popleft = self.free_list.popleft
-        jalr = Opcode.JALR
         for uop in uops:
             instr = uop.instr
             info = instr.info
@@ -129,14 +127,14 @@ class RenameUnit:
                 uop.prs1 = rat[instr.rs1]
             if info.reads_rs2 and instr.rs2 != 0:
                 uop.prs2 = rat[instr.rs2]
-            if info.writes_rd and instr.rd != 0:
+            if instr.writes_rd:
                 preg = popleft()
                 uop.stale_prd = rat[instr.rd]
                 uop.prd = preg
                 rat[instr.rd] = preg
                 if reg_state is not None:
                     reg_state[preg] = 0  # NOT_READY
-            if info.is_branch or instr.op is jalr:
+            if info.casts_c_shadow:
                 self.create_checkpoint(uop, uop.ghr_at_predict)
 
     def rename_solo(self, uop, reg_state=None):
@@ -155,14 +153,14 @@ class RenameUnit:
             uop.prs1 = rat[instr.rs1]
         if info.reads_rs2 and instr.rs2 != 0:
             uop.prs2 = rat[instr.rs2]
-        if info.writes_rd and instr.rd != 0:
+        if instr.writes_rd:
             preg = self.free_list.popleft()
             uop.stale_prd = rat[instr.rd]
             uop.prd = preg
             rat[instr.rd] = preg
             if reg_state is not None:
                 reg_state[preg] = 0  # NOT_READY
-        if info.is_branch or instr.op is Opcode.JALR:
+        if info.casts_c_shadow:
             self.create_checkpoint(uop, uop.ghr_at_predict)
 
     # -- checkpoints ------------------------------------------------------

@@ -39,6 +39,11 @@ hot loop only touches fields that could actually leak between lives:
 * :data:`HOT_SLOTS` — :meth:`MicroOp.reset` — fields some consumer may
   read before this life writes them (scheduler status, rename state,
   scheme taint state, control metadata).  Always re-armed.
+* :data:`PREDICTION_SLOTS` — :meth:`MicroOp.reset_prediction` — the
+  prediction/trace-position fields the rename dispatcher copies from
+  the fetch entry immediately after every acquisition; re-armed only on
+  the reference/tool path (:meth:`MicroOpPool.acquire`), dead stores
+  otherwise.
 * :data:`MEM_SLOTS` — :meth:`MicroOp.reset_mem` — fields only ever
   read under a load/store classification guard (LSQ state, purity
   flags, the store-half issue state, ``issue_cycle`` which only stores
@@ -71,13 +76,21 @@ DATA = "data"
 HOT_SLOTS = (
     "seq", "pc", "instr", "fetch_cycle",
     "op_is_load", "op_is_store", "op_is_branch", "op_is_transmitter",
-    "op_is_div", "op_latency",
+    "op_is_div", "op_is_plain", "op_latency",
     "prs1", "prs2", "prd", "stale_prd", "checkpoint_id",
-    "pred_taken", "pred_target", "ghr_at_predict",
     "in_rob", "completed", "committed", "killed",
     "spec_deps", "iq_status", "order_violation",
     "yrot", "yrot_addr", "yrot_data", "stt_nop_issued",
-    "complete_cycle", "trace_index",
+    "complete_cycle",
+)
+
+#: Fields the rename dispatcher copies from the fetch entry on every
+#: acquisition (prediction metadata plus the trace position): clearing
+#: them in :meth:`MicroOp.reset` would be dead stores on the hot path,
+#: so they form their own group, re-armed by
+#: :meth:`MicroOp.reset_prediction` on the reference/tool path only.
+PREDICTION_SLOTS = (
+    "pred_taken", "pred_target", "ghr_at_predict", "trace_index",
 )
 
 MEM_SLOTS = (
@@ -173,6 +186,10 @@ class MicroOp:
         "op_is_branch",
         "op_is_transmitter",
         "op_is_div",
+        # Plain-ALU classification: completion is a pure function of
+        # register sources, making this the batch-replay candidate
+        # class (see repro.pipeline.core).
+        "op_is_plain",
         "op_latency",
         # Pool bookkeeping (see MicroOpPool): True while parked on the
         # free list, guarding against double release.
@@ -183,6 +200,7 @@ class MicroOp:
         self.gen = 0
         self.in_pool = False
         self.reset(seq, pc, instr, fetch_cycle)
+        self.reset_prediction()
         self.reset_mem()
         self.reset_deferred()
 
@@ -193,10 +211,15 @@ class MicroOp:
         state *except* ``gen``, which instead increments: events
         scheduled against the previous life snapshot the old generation
         and must never match the new one (``in_pool`` is pool-managed
-        and not touched here).  The memory group is re-armed separately
-        (:meth:`reset_mem`, loads/stores only) and the deferred group
-        not at all on the hot path — see the module docstring for why
-        that is sound.
+        and not touched here).  The prediction group
+        (:meth:`reset_prediction`) is excluded too: the rename
+        dispatcher unconditionally overwrites all four fields from the
+        fetch entry immediately after re-arming, so clearing them here
+        would be dead stores on the hot path — any other caller pairs
+        this with :meth:`reset_prediction` (see :meth:`MicroOpPool.acquire`).
+        The memory group is re-armed separately (:meth:`reset_mem`,
+        loads/stores only) and the deferred group not at all on the hot
+        path — see the module docstring for why that is sound.
         """
         self.seq = seq
         self.pc = pc
@@ -207,15 +230,13 @@ class MicroOp:
         self.op_is_branch = info.is_branch
         self.op_is_transmitter = info.is_transmitter
         self.op_is_div = info.is_div
+        self.op_is_plain = info.is_plain_alu
         self.op_latency = info.latency
         self.prs1 = None
         self.prs2 = None
         self.prd = None
         self.stale_prd = None
         self.checkpoint_id = None
-        self.pred_taken = False
-        self.pred_target = None
-        self.ghr_at_predict = None
         self.in_rob = False
         self.completed = False
         self.committed = False
@@ -230,6 +251,14 @@ class MicroOp:
         self.iq_status = 0
         self.fetch_cycle = fetch_cycle
         self.complete_cycle = None
+
+    def reset_prediction(self):
+        """Re-arm the prediction/trace fields the rename dispatcher
+        normally copies straight from the fetch entry (split out of
+        :meth:`reset` so the hot path skips the dead stores)."""
+        self.pred_taken = False
+        self.pred_target = None
+        self.ghr_at_predict = None
         self.trace_index = -1
 
     def reset_mem(self):
@@ -364,6 +393,7 @@ class MicroOpPool:
             uop = free.pop()
             uop.in_pool = False
             uop.reset(seq, pc, instr, fetch_cycle)
+            uop.reset_prediction()
             uop.reset_mem()
             uop.reset_deferred()
             return uop

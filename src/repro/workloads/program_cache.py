@@ -46,7 +46,13 @@ reused by every grid cell that shares the workload.  The trace key
 outlive either the generator output it was recorded from or the column
 format the pipeline expects; on disk a trace is one
 ``<key>.trace.json`` file with the same atomic-write and
-corrupt-falls-back-to-re-record discipline as programs.
+corrupt-falls-back-to-re-record discipline as programs.  The trace-v2
+format bump (typed-array columns, base64-over-raw-buffer payloads)
+rides exactly this mechanism: every ``trace-v1`` file on disk keys
+differently, is never opened, and the workload is re-recorded into the
+columnar layout on first use — and should a v2 file be truncated or
+corrupted, :meth:`~repro.isa.trace.DynamicTrace.from_payload` raises
+``ValueError``, which the loader treats as a miss.
 """
 
 import hashlib

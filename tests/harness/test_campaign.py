@@ -101,6 +101,41 @@ def test_store_missing_and_clear(tmp_path):
     assert store.load(key) is None
 
 
+def test_store_load_many_bulk(tmp_path):
+    runner = CampaignRunner(scale=0.05, benchmarks=SUBSET)
+    store = ResultStore(tmp_path)
+    keys = []
+    for bench in SUBSET:
+        key = runner.cell_key(bench, SMALL, "baseline")
+        store.save(key, runner.run(bench, SMALL, "baseline"))
+        keys.append(key)
+    missing = "0" * 64
+    loaded = store.load_many(keys + [missing, keys[0]])  # dup + miss
+    assert set(loaded) == set(keys)
+    for key in keys:
+        assert loaded[key].stats.to_dict() == store.load(key).stats.to_dict()
+    assert store.load_many([missing]) == {}
+
+
+def test_runner_preload_from_store(tmp_path):
+    writer = CampaignRunner(scale=0.05, benchmarks=(BENCH,),
+                            store=ResultStore(tmp_path))
+    expected = writer.run(BENCH, SMALL, "baseline")
+
+    reader = CampaignRunner(scale=0.05, benchmarks=(BENCH,),
+                            store=ResultStore(tmp_path))
+    assert reader.preload_from_store([(BENCH, SMALL, "baseline")]) == 1
+    key = reader.cell_key(BENCH, SMALL, "baseline")
+    assert key in reader._cache
+    # suite_results is served from the preloaded cache, not a fresh
+    # simulation (identity check: run() returns the cached object).
+    results = reader.suite_results(SMALL, "baseline")
+    assert results[0] is reader._cache[key]
+    assert results[0].stats.to_dict() == expected.stats.to_dict()
+    # Second preload is a no-op (everything already cached).
+    assert reader.preload_from_store([(BENCH, SMALL, "baseline")]) == 0
+
+
 def test_store_verify_drops_corrupt_and_stale(tmp_path):
     import json
 

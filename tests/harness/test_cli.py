@@ -169,6 +169,71 @@ def test_cli_bench_multi_scheme(tmp_path, capsys):
         s["aggregate"]["cycles"] for s in report["schemes"].values())
 
 
+def test_cli_bench_compare(tmp_path, capsys):
+    old = tmp_path / "OLD.json"
+    new = tmp_path / "NEW.json"
+    assert main(["bench", "--scale", "0.02", "--repeats", "1",
+                 "--schemes", "baseline", "--record", str(old)]) == 0
+    capsys.readouterr()
+    # Doctor the "new" report: +10% cycles/s everywhere, foreign host.
+    report = json.loads(old.read_text())
+    for section in report["schemes"].values():
+        for row in section["workloads"] + [section["aggregate"]]:
+            row["cycles_per_second"] = round(
+                row["cycles_per_second"] * 1.1, 1)
+    report["aggregate"]["cycles_per_second"] = round(
+        report["aggregate"]["cycles_per_second"] * 1.1, 1)
+    report["host"] = dict(report["host"], platform="other-box")
+    new.write_text(json.dumps(report))
+
+    assert main(["bench", "--compare", str(old), str(new)]) == 0
+    out = capsys.readouterr().out
+    assert "scheme: baseline" in out
+    assert "+10.0%" in out
+    assert "1.100x" in out
+    assert "different hosts" in out
+    assert "platform" in out
+
+    # Same report on both sides: clean table, no warning.
+    assert main(["bench", "--compare", str(old), str(old)]) == 0
+    out = capsys.readouterr().out
+    assert "different hosts" not in out
+    assert "1.000x" in out
+
+
+def test_compare_bench_reports_shapes():
+    """Single-scheme and multi-scheme report shapes are comparable,
+    and one-sided schemes/workloads surface instead of vanishing."""
+    from repro.harness.bench import compare_bench_reports
+
+    host = {"python": "3", "implementation": "C", "platform": "p",
+            "cpu_count": 1}
+    single = {
+        "scheme": "baseline", "config": "mega", "scale": 1.0,
+        "host": host,
+        "workloads": [{"workload": "mixed", "cycles_per_second": 100.0}],
+        "aggregate": {"cycles_per_second": 100.0},
+    }
+    multi = {
+        "config": "mega", "scale": 1.0, "host": host,
+        "schemes": {
+            "baseline": {
+                "workloads": [{"workload": "mixed",
+                               "cycles_per_second": 150.0}],
+                "aggregate": {"cycles_per_second": 150.0},
+            },
+            "nda": {"workloads": [], "aggregate": {}},
+        },
+        "aggregate": {"cycles_per_second": 150.0},
+    }
+    comparison = compare_bench_reports(single, multi)
+    assert comparison["host_mismatches"] == []
+    assert comparison["only_new"] == ["nda"]
+    row = comparison["schemes"]["baseline"]["workloads"][0]
+    assert row["speedup"] == 1.5 and row["delta_pct"] == 50.0
+    assert comparison["aggregate"]["speedup"] == 1.5
+
+
 def test_cli_grid_populates_program_disk_cache(tmp_path, capsys):
     """make_runner points the program cache at <store>/programs."""
     from repro.workloads.program_cache import clear_cache, configure_disk_cache

@@ -31,9 +31,9 @@ def test_memory_classification():
 
 def test_x0_sources_are_omitted():
     instr = Instruction(op=Opcode.ADD, rd=5, rs1=0, rs2=7)
-    assert instr.source_regs() == [7]
+    assert instr.source_regs == (7,)
     instr = Instruction(op=Opcode.ADD, rd=5, rs1=0, rs2=0)
-    assert instr.source_regs() == []
+    assert instr.source_regs == ()
 
 
 def test_x0_destination_never_written():
@@ -42,19 +42,19 @@ def test_x0_destination_never_written():
 
 def test_store_operand_split():
     store = Instruction(op=Opcode.SW, rs1=3, rs2=4, imm=8)
-    assert store.address_source_regs() == [3]
-    assert store.data_source_regs() == [4]
+    assert store.address_source_regs == (3,)
+    assert store.data_source_regs == (4,)
 
 
 def test_load_address_sources():
     load = Instruction(op=Opcode.LW, rd=1, rs1=6, imm=8)
-    assert load.address_source_regs() == [6]
-    assert load.data_source_regs() == []
+    assert load.address_source_regs == (6,)
+    assert load.data_source_regs == ()
 
 
 def test_immediate_alu_reads_only_rs1():
     instr = Instruction(op=Opcode.ADDI, rd=5, rs1=6, imm=1)
-    assert instr.source_regs() == [6]
+    assert instr.source_regs == (6,)
 
 
 def test_branch_latencies_positive():

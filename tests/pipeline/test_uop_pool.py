@@ -1,7 +1,7 @@
 """Micro-op pool: reset completeness, recycling, and recovery safety.
 
 The pool's correctness argument (see :mod:`repro.pipeline.uop`) rests
-on the three reset methods *together* restoring every field a fresh
+on the reset methods *together* restoring every field a fresh
 construction would — a stale field surviving into a recycled micro-op's
 next life is exactly the class of bug object pooling invites.  Reset is
 partitioned (``reset`` re-arms the hot slots, ``reset_mem`` the
@@ -29,6 +29,7 @@ from repro.pipeline.uop import (
     HOT_SLOTS,
     MEM_SLOTS,
     POOL_SLOTS,
+    PREDICTION_SLOTS,
     MicroOp,
     MicroOpPool,
 )
@@ -67,7 +68,8 @@ def test_slot_partition_is_complete_and_disjoint():
     ``__slots__`` agree: a slot in no group would never be re-armed, a
     slot in two would hide which reset owns it.
     """
-    groups = (HOT_SLOTS, MEM_SLOTS, DEFERRED_SLOTS, POOL_SLOTS)
+    groups = (HOT_SLOTS, PREDICTION_SLOTS, MEM_SLOTS, DEFERRED_SLOTS,
+              POOL_SLOTS)
     union = [name for group in groups for name in group]
     assert len(union) == len(set(union)), "slot claimed by two groups"
     assert set(union) == set(MicroOp.__slots__), (
@@ -93,6 +95,7 @@ def test_full_reset_restores_every_slot(instr):
         _trash_every_slot(recycled, salt=salt)
         recycled.gen = 41  # garbage pass clobbered it; make it an int
         recycled.reset(7, 11, instr, fetch_cycle=5)
+        recycled.reset_prediction()
         recycled.reset_mem()
         recycled.reset_deferred()
 
