@@ -33,8 +33,13 @@ Subcommands:
     Maintain the persistent result store: ``store verify`` quarantines
     corrupt cells aside (``.corrupt``) and drops stale ones,
     ``store gc`` evicts everything outside the standard campaign grid
-    for the given scale/seed, ``store failures`` lists recorded cell
-    failures (exit 1 when any exist).
+    for the given scale/seed and reports the bytes reclaimed,
+    ``store stats`` prints cell/segment counts, bytes on disk,
+    compression ratio, and the legacy-format flag, ``store compact``
+    folds live records into fresh sealed segments, ``store migrate``
+    converts legacy JSON-per-cell files into segment records in place,
+    and ``store failures`` lists recorded cell failures (exit 1 when
+    any exist).
 ``schemes``
     List every registered speculation scheme straight from the scheme
     registry: canonical name, grid membership, kwargs schema, and the
@@ -44,7 +49,9 @@ Subcommands:
     over the canonical workload suite; prints JSON so the BENCH
     trajectory can track kernel regressions (``--record PATH`` also
     writes the JSON to a file, e.g. ``BENCH_PR3.json`` at the repo
-    root).
+    root).  ``bench --store`` benchmarks the result store instead:
+    write/load_many/iter throughput for the legacy JSON-per-cell
+    layout vs the segment backend at ``--store-cells`` sizes.
 ``profile``
     cProfile one grid cell (default: the ``chase-cold`` throughput
     workload on mega/baseline) and print the top cumulative entries —
@@ -208,11 +215,19 @@ def build_parser():
 
     store = sub.add_parser(
         "store", help="maintain the persistent result store")
-    store.add_argument("action", choices=("verify", "gc", "failures"),
+    store.add_argument("action",
+                       choices=("verify", "gc", "stats", "compact",
+                                "migrate", "failures"),
                        help="verify: quarantine corrupt cells aside and"
                             " drop stale ones; gc: evict cells outside"
-                            " the standard grid; failures: list recorded"
-                            " cell failures (exit 1 when any exist)")
+                            " the standard grid (reports bytes"
+                            " reclaimed); stats: cell/segment counts,"
+                            " bytes on disk, compression ratio, legacy"
+                            " flag; compact: fold live records into"
+                            " fresh sealed segments; migrate: convert"
+                            " legacy JSON-per-cell files into segments"
+                            " in place; failures: list recorded cell"
+                            " failures (exit 1 when any exist)")
     store.add_argument("--store-dir", default=DEFAULT_STORE_DIR,
                        help="persistent store root (default %(default)s)")
     store.add_argument("--scale", type=float, default=1.0,
@@ -253,6 +268,15 @@ def build_parser():
                             " reports (per-scheme/per-workload cycles/s"
                             " delta table, warning on host-metadata"
                             " mismatch)")
+    bench.add_argument("--store", action="store_true",
+                       help="benchmark the result store instead of the"
+                            " simulator: write/load_many/iter"
+                            " throughput, legacy JSON-per-cell vs"
+                            " segment backend (see --store-cells)")
+    bench.add_argument("--store-cells", default="1000,10000",
+                       metavar="N[,N...]",
+                       help="store bench: comma-separated cell counts"
+                            " (default %(default)s)")
 
     profile = sub.add_parser(
         "profile", help="cProfile one grid cell (top cumulative entries)")
@@ -496,6 +520,14 @@ def cmd_work(args):
     return 0
 
 
+def _format_bytes(count):
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if count < 1024 or unit == "GiB":
+            return ("%d %s" % (count, unit) if unit == "B"
+                    else "%.1f %s" % (count, unit))
+        count /= 1024.0
+
+
 def cmd_store(args):
     store = ResultStore(args.store_dir)
     if args.action == "verify":
@@ -505,6 +537,41 @@ def cmd_store(args):
               % (store.root, summary["scanned"], summary["kept"],
                  summary["corrupt"], summary["stale"]))
         return 0
+    if args.action == "stats":
+        stats = store.stats()
+        print("store stats (%s): format %s" % (store.root, stats["format"]))
+        print("  cells: %d segment-backed, %d legacy JSON%s"
+              % (stats["cells"], stats["legacy_cells"],
+                 " — run 'store migrate' to convert"
+                 if stats["legacy"] else ""))
+        print("  segments: %d (%s; live %s of raw %s, ratio %s)"
+              % (stats["segments"], _format_bytes(stats["segment_bytes"]),
+                 _format_bytes(stats["live_bytes"]),
+                 _format_bytes(stats["raw_bytes"]),
+                 "%.2fx" % stats["compression_ratio"]
+                 if stats["compression_ratio"] else "n/a"))
+        print("  disk: %s total (manifest %s, legacy %s)"
+              % (_format_bytes(stats["disk_bytes"]),
+                 _format_bytes(stats["manifest_bytes"]),
+                 _format_bytes(stats["legacy_bytes"])))
+        print("  failures recorded: %d" % stats["failures"])
+        return 0
+    if args.action == "compact":
+        summary = store.compact()
+        print("store compact (%s): %d cells, %d -> %d segment(s),"
+              " %s -> %s%s"
+              % (store.root, summary["cells"],
+                 summary["segments_before"], summary["segments_after"],
+                 _format_bytes(summary["bytes_before"]),
+                 _format_bytes(summary["bytes_after"]),
+                 ", %d corrupt dropped" % summary["corrupt_dropped"]
+                 if summary["corrupt_dropped"] else ""))
+        return 0
+    if args.action == "migrate":
+        summary = store.migrate()
+        print("store migrate (%s): %d cell(s) migrated, %d skipped"
+              % (store.root, summary["migrated"], summary["skipped"]))
+        return 0 if not summary["skipped"] else 1
     if args.action == "failures":
         failures = store.failures()
         for record in failures:
@@ -527,9 +594,9 @@ def cmd_store(args):
         for benchmark in runner.benchmarks
     ]
     summary = store.gc(keep)
-    print("store gc (%s): %d scanned, %d kept, %d dropped"
+    print("store gc (%s): %d scanned, %d kept, %d dropped, %s reclaimed"
           % (store.root, summary["scanned"], summary["kept"],
-             summary["dropped"]))
+             summary["dropped"], _format_bytes(summary["bytes_reclaimed"])))
     return 0
 
 
@@ -546,6 +613,23 @@ def cmd_schemes(args):
 
 def cmd_bench(args):
     from repro.harness.bench import format_bench_report, run_throughput_bench
+
+    if args.store:
+        from repro.harness.storebench import run_store_bench
+
+        counts = tuple(int(part) for part in args.store_cells.split(",")
+                       if part.strip())
+        if args.quick:
+            counts = tuple(min(count, 1000) for count in counts)
+        report = run_store_bench(cell_counts=counts)
+        text = format_bench_report(report)
+        print(text)
+        if args.record:
+            with open(args.record, "w") as handle:
+                handle.write(text)
+                handle.write("\n")
+            print("recorded to %s" % args.record, file=sys.stderr)
+        return 0
 
     if args.compare:
         import json
@@ -629,12 +713,12 @@ def cmd_pipeview(args):
 
 def cmd_metrics(args):
     from repro.analysis.stalls import (
-        cycle_account_breakdown,
         format_stall_report,
+        store_stall_breakdown,
     )
 
     store = ResultStore(args.store_dir)
-    breakdown = cycle_account_breakdown(store.iter_results())
+    breakdown = store_stall_breakdown(store)
     if not breakdown:
         print("no cycle-accounted results under %s — run a campaign"
               " first (accounting is always on for campaign cells)"

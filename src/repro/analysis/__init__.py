@@ -25,11 +25,13 @@ from repro.analysis.reporting import (
 from repro.analysis.stalls import (
     cycle_account_breakdown,
     format_stall_report,
+    store_stall_breakdown,
 )
 
 __all__ = [
     "cycle_account_breakdown",
     "format_stall_report",
+    "store_stall_breakdown",
     "normalized_ipc",
     "suite_mean_ipc",
     "suite_normalized_ipc",

@@ -13,24 +13,56 @@ included), the scheme name plus constructor kwargs, the workload
 scale/seed, and a model version stamp.  Display names carry no
 identity, so same-named-but-different configurations can never alias.
 
-**Store layout.**  With a :class:`~repro.harness.store.ResultStore`
-attached, each cell round-trips through one JSON file::
+**Store layout** (format ``segments-v1``).  With a
+:class:`~repro.harness.store.ResultStore` attached, cells append into
+shared segment files indexed by a SQLite manifest::
 
-    results/store/<benchmark>__<config>__<scheme>__<digest12>.json
-    {"key": ..., "model_version": ..., "meta": {...}, "result": {...}}
+    results/store/
+        manifest.db               # SQLite: full-key index + columns
+        segments/seg-NNNNNN.seg   # append-only record segments
+        failures/*.json           # CellFailure records
 
-Only the digest carries identity; the readable prefix is for humans.
-Writes are atomic (temp file + rename).
+Each segment record is ``"SBR1" | u32 payload-length | u32 CRC32 |
+zlib(canonical JSON)`` where the JSON payload is the envelope
+``{"key", "model_version", "meta", "result"}`` — the same envelope the
+original JSON-file-per-cell layout stored, so the logical format never
+changed.  The manifest's ``cells`` table maps every *full* 64-hex key
+to its segment/offset/length and carries the benchmark/config/scheme
+columns, hot counters, and a per-cell statistics blob: ``keys()`` and
+``len()`` are pure index reads, ``load_many`` returns lazily-decoded
+results (snapshot payloads decompress only when touched), and
+``iter_results(fields=...)`` / ``load_columns`` serve analysis passes
+columnar with zero segment I/O.  Writers append a record and flush
+*before* indexing it, so a crash leaves at worst an unindexed orphan
+tail — never an indexed cell without bytes; each writer instance owns
+its segment, so concurrent writers never interleave.
+``ResultStore.compact()`` folds live records into fresh sealed
+segments and reclaims dead bytes.
+
+**Legacy stores and migration.**  The original layout — one atomic
+JSON file per cell, ``<benchmark>__<config>__<scheme>__<digest12>.json``
+in the store root — is still read transparently wherever such files
+exist (:class:`~repro.harness.store.LegacyResultStore` is the intact
+reader/writer); the manifest wins when both hold a key.  ``python -m
+repro store migrate`` folds legacy files into segments in place,
+preserving each envelope verbatim (key, meta, and ``model_version``
+stamp included), and ``python -m repro store stats`` reports cell/
+segment counts, bytes on disk, compression ratio, and whether any
+legacy cells remain.
 
 **Version invalidation and maintenance.**  The model version stamp
 (:data:`~repro.harness.store.MODEL_VERSION`, the package version)
 participates in every hash: bumping the version changes every key, so
 results computed by an older simulator are never reused — they simply
 stop being found.  Eviction is no longer all-or-nothing:
-``ResultStore.verify()`` drops corrupt or version-stale cells and
-keeps the rest, ``ResultStore.gc(keep_keys)`` evicts everything
-outside a caller-supplied key set, and both are scriptable as
-``python -m repro store {verify,gc}``.
+``ResultStore.verify()`` quarantines corrupt records (healthy
+neighbours are salvaged, the damaged segment is set aside as
+``*.corrupt``) and drops version-stale cells, ``ResultStore.gc(
+keep_keys)`` evicts everything outside a caller-supplied key set and
+reports the bytes reclaimed, and all of it is scriptable as
+``python -m repro store {verify,gc,stats,compact,migrate}``.
+Maintenance verbs are offline operations: run them without concurrent
+writers.
 
 **Executor protocol.**  Execution is backend-agnostic behind
 :class:`~repro.harness.executor.Executor` — ``run(specs, progress,
@@ -137,7 +169,11 @@ cells of one benchmark generate its program once per process.
     python -m repro store failures               # recorded cell failures
     python -m repro store verify                 # quarantine corrupt/stale
     python -m repro store gc --scale 1.0         # evict off-grid cells
+    python -m repro store stats                  # cells/segments/bytes
+    python -m repro store compact                # fold + reclaim segments
+    python -m repro store migrate                # legacy JSON -> segments
     python -m repro bench --record BENCH_PR3.json
+    python -m repro bench --store                # store backend benchmark
 
 ``--jobs N`` fans simulation out over N workers, ``--executor``
 selects the backend explicitly, ``--progress`` streams live ETA lines,
@@ -150,6 +186,7 @@ from repro.harness.runner import CampaignRunner, shared_runner
 from repro.harness.store import (
     MODEL_VERSION,
     CellFailure,
+    LegacyResultStore,
     ResultStore,
     simulation_key,
 )
@@ -174,6 +211,7 @@ __all__ = [
     "CampaignRunner",
     "shared_runner",
     "ResultStore",
+    "LegacyResultStore",
     "CellFailure",
     "CampaignJournal",
     "journal_path",

@@ -15,7 +15,8 @@ Three layers cooperate:
 
 - the in-process dict cache (always on, per-runner);
 - an optional persistent :class:`~repro.harness.store.ResultStore`
-  (JSON-per-cell on disk) consulted before simulating and updated
+  (segment files + manifest index on disk — see
+  :mod:`repro.harness.segments`) consulted before simulating and updated
   after, so repeated processes skip already-simulated cells;
 - :func:`~repro.harness.parallel.run_cells`, which
   :meth:`CampaignRunner.run_grid` uses to shard the *uncached* cells
@@ -143,8 +144,8 @@ class CampaignRunner:
 
         The whole suite is preloaded from the store in one bulk read
         before any per-cell work, so a fully-populated campaign costs
-        one directory scan per suite instead of one store lookup per
-        benchmark.
+        one batched index lookup per suite instead of one store lookup
+        per benchmark.
         """
         selected = benchmarks or self.benchmarks
         self.preload_from_store(

@@ -17,33 +17,62 @@ distinct configurations that happen to share a name (two ad-hoc
 other's results.  Bumping the package version invalidates every stored
 cell at once, because the stamp participates in the hash.
 
-On disk the store is one JSON file per cell under its root directory
-(``results/store/`` by default)::
+On disk the store is **segment-backed** (format ``segments-v1``, see
+:mod:`repro.harness.segments` for the byte-level contract)::
 
-    results/store/<benchmark>__<config>__<scheme>__<digest12>.json
+    results/store/
+        manifest.db            SQLite manifest + full-key index
+        segments/seg-NNNNNN.seg   append-only record segments
+        failures/*.json        CellFailure records (unchanged format)
 
-Filenames embed a human-readable prefix purely for browsability; only
-the digest carries identity.  Writes are atomic (temp file + rename),
-so a crashed or parallel run never leaves a truncated cell behind.
+Results append as compressed records into segment files; the manifest
+maps every full 64-hex key to its record and carries the
+benchmark/config/scheme columns plus per-cell statistics, so
+``keys()``/``__len__`` are O(index) with zero file opens, bulk loads
+return lazily-decoded results, and analysis passes read statistics
+columnar — without decompressing a single snapshot.  The previous
+JSON-file-per-cell layout (one ``<prefix>__<digest12>.json`` per cell
+in the store root) is still read transparently wherever such files
+exist — :class:`LegacyResultStore` below is that reader/writer, kept
+whole for mixed stores, benchmarks, and ``python -m repro store
+migrate``.
 
 Failures are first-class: a cell the campaign could not complete —
 quarantined after repeatedly killing workers, a deterministic
 exception, a watchdog timeout — persists as a :class:`CellFailure`
 record under ``failures/`` beside the results, written with the same
-atomic discipline.  A later successful result for the cell clears its
-failure record (first-result-wins), and ``python -m repro store
-failures`` lists whatever remains.
+atomic discipline as before.  A later successful result for the cell
+clears its failure record (first-result-wins), and ``python -m repro
+store failures`` lists whatever remains.
 """
 
 import hashlib
+import io
 import json
 import os
 import pathlib
+import pickle
 import re
+import shutil
 import tempfile
+import threading
 
 from repro import __version__
+from repro.harness.segments import (
+    CorruptRecord,
+    DEFAULT_SEGMENT_BYTES,
+    FORMAT_VERSION,
+    MANIFEST_NAME,
+    Manifest,
+    SEGMENT_DIR,
+    SEGMENT_SUFFIX,
+    decode_envelope,
+    encode_envelope,
+    pack_record,
+    unpack_record,
+)
 from repro.pipeline.core import SimulationResult
+from repro.pipeline.stats import SimStats
 
 #: Stamp hashed into every key; results computed by a different model
 #: version are invisible (their keys differ), never silently reused.
@@ -59,6 +88,11 @@ _SAFE = re.compile(r"[^A-Za-z0-9._-]+")
 #: it was quarantined; ``deterministic`` — the simulation raised;
 #: ``timeout`` — the worker's watchdog hit its wall-clock deadline.
 FAILURE_KINDS = ("poisoned", "deterministic", "timeout")
+
+#: Result fields that require decoding the stored snapshot payload;
+#: ``iter_results(fields=...)`` stays columnar only while the caller
+#: asks for none of these.
+SNAPSHOT_FIELDS = frozenset(("regs", "memory", "extra"))
 
 
 class CellFailure:
@@ -152,8 +186,45 @@ def cell_filename(benchmark, config_name, scheme_name, key):
     return "%s__%s.json" % (prefix, key[:12])
 
 
-class ResultStore:
-    """JSON-per-cell result store rooted at one directory."""
+class _StatsUnpickler(pickle.Unpickler):
+    """Unpickler restricted to the one class manifest blobs may hold."""
+
+    def find_class(self, module, name):
+        if module == "repro.pipeline.stats" and name == "SimStats":
+            return SimStats
+        raise pickle.UnpicklingError(
+            "manifest stats blob references %s.%s" % (module, name))
+
+
+def _pickle_stats(stats):
+    try:
+        return pickle.dumps(stats, protocol=4)
+    except Exception:
+        return None
+
+
+def _unpickle_stats(blob):
+    """Decode a manifest stats blob, or ``None`` when it cannot be
+    trusted (missing, truncated, foreign class) — callers fall back to
+    the authoritative segment payload."""
+    if not blob:
+        return None
+    try:
+        obj = _StatsUnpickler(io.BytesIO(bytes(blob))).load()
+    except Exception:
+        return None
+    return obj if isinstance(obj, SimStats) else None
+
+
+class LegacyResultStore:
+    """The original JSON-file-per-cell store (read/write).
+
+    Kept intact behind :class:`ResultStore`: mixed stores read legacy
+    cells transparently, ``store migrate`` converts them, and the
+    store benchmark uses this class as its baseline backend.  Cell
+    files live directly in the store root as
+    ``<benchmark>__<config>__<scheme>__<digest12>.json``.
+    """
 
     def __init__(self, root=None):
         self.root = pathlib.Path(root or DEFAULT_STORE_DIR)
@@ -195,8 +266,12 @@ class ResultStore:
     def __len__(self):
         return len(self._index(refresh=True))
 
+    def cells(self):
+        """Fresh ``{digest12: path}`` index of every legacy cell file."""
+        return dict(self._index(refresh=True))
+
     def keys(self):
-        """Full keys of every stored cell."""
+        """Full keys of every stored cell (opens every file)."""
         keys = []
         for path in self._index(refresh=True).values():
             try:
@@ -206,28 +281,25 @@ class ResultStore:
                 continue
         return keys
 
-    def iter_results(self):
-        """Yield every stored :class:`SimulationResult` (analysis bulk
-        read); corrupt or foreign files are skipped silently — use
-        :meth:`verify` to surface them."""
+    def iter_cells(self):
+        """Yield ``(key, envelope)`` for every readable cell file."""
         for path in sorted(self._index(refresh=True).values()):
             try:
                 with open(path) as handle:
                     data = json.load(handle)
-                yield SimulationResult.from_dict(data["result"])
+                yield data["key"], data
             except (OSError, ValueError, KeyError, TypeError):
                 continue
 
-    def load_many(self, keys):
-        """Bulk read: ``{key: SimulationResult}`` for every hit.
+    def iter_results(self):
+        for key, data in self.iter_cells():
+            try:
+                yield SimulationResult.from_dict(data["result"])
+            except (ValueError, KeyError, TypeError):
+                continue
 
-        One index refresh up front covers the whole batch, so loading N
-        cells costs one directory scan plus N file opens — not N
-        mtime-gated lookups each racing the index.  Used by the figure
-        loaders and the batch runner's pending scan; missing, corrupt,
-        or key-mismatched cells are simply absent from the returned
-        dict (callers treat absence as "needs simulating").
-        """
+    def load_many(self, keys):
+        """Bulk read: ``{key: SimulationResult}`` for every hit."""
         keys = list(keys)
         index = self._index(refresh=True)
         results = {}
@@ -250,10 +322,8 @@ class ResultStore:
                 continue
         return results
 
-    # -- round-tripping ---------------------------------------------------
-
-    def load(self, key):
-        """Return the stored :class:`SimulationResult`, or ``None``."""
+    def load_envelope(self, key):
+        """The raw stored envelope for ``key``, or ``None``."""
         path = self._lookup(key)
         if path is None:
             return None
@@ -263,8 +333,17 @@ class ResultStore:
         except (OSError, ValueError):
             return None
         if data.get("key") != key:
-            return None  # digest-prefix collision or stale file
-        return SimulationResult.from_dict(data["result"])
+            return None
+        return data
+
+    def load(self, key):
+        data = self.load_envelope(key)
+        if data is None:
+            return None
+        try:
+            return SimulationResult.from_dict(data["result"])
+        except (ValueError, KeyError, TypeError):
+            return None
 
     def save(self, key, result, meta=None):
         """Persist one result atomically; returns its path."""
@@ -294,21 +373,683 @@ class ResultStore:
             self._paths[key[:12]] = path
             # The write bumped the directory mtime; the index already
             # reflects it, so re-arm the mtime gate instead of letting
-            # every subsequent miss trigger a full re-glob.  (A file an
-            # external writer slipped in just before ours is missed
-            # until the next directory change — the cost is one
-            # redundant, deterministic re-simulation, never staleness.)
+            # every subsequent miss trigger a full re-glob.
             self._indexed_mtime = self._dir_mtime()
         return path
 
+    def discard(self, key):
+        """Delete the cell file for ``key`` (exact match); True if any."""
+        path = self._lookup(key)
+        if path is None:
+            return False
+        try:
+            with open(path) as handle:
+                if json.load(handle).get("key") != key:
+                    return False
+            path.unlink()
+        except (OSError, ValueError):
+            return False
+        self._index(refresh=True)
+        return True
+
     def clear(self):
-        """Delete every stored cell (keeps the directory)."""
         for path in self._index(refresh=True).values():
             try:
                 path.unlink()
             except OSError:
                 pass
         self._paths = {}
+
+    def verify(self):
+        """Legacy-cell integrity sweep; same verdicts as ever:
+        corrupt files are renamed aside ``.corrupt``, stale model
+        versions deleted.  Returns the 4-key summary."""
+        summary = {"scanned": 0, "kept": 0, "corrupt": 0, "stale": 0}
+        for path in list(self._index(refresh=True).values()):
+            summary["scanned"] += 1
+            verdict = self._verify_one(path)
+            if verdict == "kept":
+                summary["kept"] += 1
+                continue
+            summary[verdict] += 1
+            try:
+                if verdict == "corrupt":
+                    os.replace(path, str(path) + ".corrupt")
+                else:
+                    path.unlink()
+            except OSError:
+                pass
+        self._index(refresh=True)
+        return summary
+
+    def _verify_one(self, path):
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+            key = data["key"]
+            if not isinstance(key, str) or len(key) != 64:
+                return "corrupt"
+            SimulationResult.from_dict(data["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return "corrupt"
+        if data.get("model_version") != MODEL_VERSION:
+            return "stale"
+        return "kept"
+
+    def gc(self, keep_keys):
+        """Evict legacy cells whose key is not in ``keep_keys``."""
+        keep = set(keep_keys)
+        summary = {"scanned": 0, "kept": 0, "dropped": 0,
+                   "bytes_reclaimed": 0}
+        for path in list(self._index(refresh=True).values()):
+            summary["scanned"] += 1
+            try:
+                size = path.stat().st_size
+                with open(path) as handle:
+                    key = json.load(handle).get("key")
+            except (OSError, ValueError):
+                key, size = None, 0
+            if key in keep:
+                summary["kept"] += 1
+                continue
+            summary["dropped"] += 1
+            try:
+                path.unlink()
+                summary["bytes_reclaimed"] += size
+            except OSError:
+                pass
+        self._index(refresh=True)
+        return summary
+
+
+class _StoredResult(SimulationResult):
+    """A stored result whose heavy fields decode on first access.
+
+    Identity (names, halted, cycles) and statistics come straight from
+    the manifest row; the architectural snapshot (``regs``/``memory``/
+    ``extra``) — the bulk of every payload — is only read and
+    decompressed from its segment when actually touched.  This is what
+    makes ``load_many`` over 10^4 cells an index scan instead of 10^4
+    decompress+parse round trips.
+    """
+
+    @classmethod
+    def _from_row(cls, store, row):
+        self = object.__new__(cls)
+        d = self.__dict__
+        d["program_name"] = row["benchmark"]
+        d["scheme_name"] = row["scheme"]
+        d["config_name"] = row["config"]
+        d["halted"] = bool(row["halted"])
+        d["cycles"] = row["result_cycles"] or 0
+        d["_key"] = row["key"]
+        d["_store"] = store
+        d["_stats_blob"] = row["stats"]
+        d["_segment_name"] = row["segment_name"]
+        d["_offset"] = row["offset"]
+        d["_length"] = row["length"]
+        return self
+
+    def _materialise(self):
+        env = self._store._read_cell(
+            self.__dict__["_key"], self.__dict__["_segment_name"],
+            self.__dict__["_offset"], self.__dict__["_length"])
+        data = env["result"]
+        d = self.__dict__
+        d.setdefault("_stats", SimStats.from_dict(data["stats"]))
+        d["_regs"] = list(data["regs"])
+        d["_memory"] = {int(addr): value
+                        for addr, value in data["memory"].items()}
+        d["_extra"] = dict(data.get("extra", {}))
+
+    @property
+    def stats(self):
+        d = self.__dict__
+        if "_stats" not in d:
+            cached = _unpickle_stats(d.get("_stats_blob"))
+            if cached is not None:
+                d["_stats"] = cached
+            else:
+                self._materialise()
+        return d["_stats"]
+
+    @stats.setter
+    def stats(self, value):
+        self.__dict__["_stats"] = value
+
+    @property
+    def regs(self):
+        if "_regs" not in self.__dict__:
+            self._materialise()
+        return self.__dict__["_regs"]
+
+    @regs.setter
+    def regs(self, value):
+        self.__dict__["_regs"] = value
+
+    @property
+    def memory(self):
+        if "_memory" not in self.__dict__:
+            self._materialise()
+        return self.__dict__["_memory"]
+
+    @memory.setter
+    def memory(self, value):
+        self.__dict__["_memory"] = value
+
+    @property
+    def extra(self):
+        if "_extra" not in self.__dict__:
+            self._materialise()
+        return self.__dict__["_extra"]
+
+    @extra.setter
+    def extra(self, value):
+        self.__dict__["_extra"] = value
+
+
+class ResultView:
+    """Columnar row from ``iter_results(fields=...)``.
+
+    Quacks like a :class:`SimulationResult` for every statistics-level
+    consumer (``key``, identity names, ``halted``, ``cycles``,
+    ``stats``, ``ipc``) without ever opening a segment file — stats
+    decode from the manifest blob, falling back to the authoritative
+    payload only if the blob is unusable.
+    """
+
+    __slots__ = ("key", "program_name", "config_name", "scheme_name",
+                 "halted", "cycles", "_store", "_blob", "_stats",
+                 "_segment_name", "_offset", "_length")
+
+    def __init__(self, store, row):
+        self.key = row["key"]
+        self.program_name = row["benchmark"]
+        self.config_name = row["config"]
+        self.scheme_name = row["scheme"]
+        self.halted = bool(row["halted"])
+        self.cycles = row["result_cycles"] or 0
+        self._store = store
+        self._blob = row["stats"]
+        self._stats = None
+        self._segment_name = row["segment_name"]
+        self._offset = row["offset"]
+        self._length = row["length"]
+
+    @property
+    def stats(self):
+        if self._stats is None:
+            stats = _unpickle_stats(self._blob)
+            if stats is None:
+                env = self._store._read_cell(
+                    self.key, self._segment_name, self._offset, self._length)
+                stats = SimStats.from_dict(env["result"]["stats"])
+            self._stats = stats
+            self._blob = None
+        return self._stats
+
+    @property
+    def ipc(self):
+        return self.stats.ipc
+
+
+#: ``load_columns`` fields answered straight from manifest columns —
+#: no blob, no segment read.
+_SQL_COLUMNS = {
+    "benchmark": lambda row: row["benchmark"],
+    "config": lambda row: row["config"],
+    "scheme": lambda row: row["scheme"],
+    "model_version": lambda row: row["model_version"],
+    "halted": lambda row: bool(row["halted"]),
+    "cycles": lambda row: row["cycles"],
+    "committed_instructions": lambda row: row["committed"],
+    "ipc": lambda row: ((row["committed"] or 0) / row["cycles"]
+                        if row["cycles"] else 0.0),
+}
+
+
+class ResultStore:
+    """Segment-backed result store rooted at one directory.
+
+    Public surface is unchanged from the JSON-per-cell era —
+    ``save``/``load``/``load_many``/``iter_results``/``keys``/
+    ``verify``/``gc``/``clear``, the failure-record API, and
+    ``in``/``len`` — plus the columnar additions (``iter_results``
+    with ``fields=``, :meth:`load_columns`), the maintenance verbs
+    (:meth:`compact`, :meth:`migrate`, :meth:`stats`), and
+    :meth:`load_envelope` for format-level tooling.
+
+    Concurrency: any number of reader instances (threads or processes)
+    may overlap any number of writers — readers always consult the
+    manifest, and every writer instance appends to its *own* segment.
+    The maintenance verbs (``verify``/``gc``/``compact``/``migrate``)
+    rewrite shared state and are offline operations: run them without
+    concurrent writers, exactly like their legacy counterparts.
+    """
+
+    def __init__(self, root=None, segment_bytes=None):
+        self.root = pathlib.Path(root or DEFAULT_STORE_DIR)
+        self.segment_bytes = segment_bytes or DEFAULT_SEGMENT_BYTES
+        self._legacy = LegacyResultStore(self.root)
+        self._manifest = None
+        self._active = None  # this instance's open segment, grown lazily
+        self._lock = threading.RLock()
+
+    # -- manifest / segment plumbing --------------------------------------
+
+    @property
+    def manifest_path(self):
+        return self.root / MANIFEST_NAME
+
+    @property
+    def segments_dir(self):
+        return self.root / SEGMENT_DIR
+
+    def _manifest_if_exists(self):
+        """The manifest, or ``None`` — never creates files on a read."""
+        if self._manifest is None and self.manifest_path.exists():
+            self._manifest = Manifest(self.manifest_path)
+        return self._manifest
+
+    def _manifest_rw(self):
+        if self._manifest is None:
+            self.root.mkdir(parents=True, exist_ok=True)
+            self._manifest = Manifest(self.manifest_path)
+        return self._manifest
+
+    def _legacy_cells(self):
+        """Current legacy-cell index (mtime-gated; cheap when empty)."""
+        index = self._legacy._index()
+        if self._legacy._dir_mtime() != self._legacy._indexed_mtime:
+            index = self._legacy._index(refresh=True)
+        return index
+
+    def _active_segment(self, need):
+        """This instance's open segment, rolled when ``need`` more
+        bytes would push it past the seal threshold."""
+        active = self._active
+        if (active is not None and active["offset"] > 0
+                and active["offset"] + need > self.segment_bytes):
+            self._seal_active()
+            active = None
+        if active is None:
+            manifest = self._manifest_rw()
+            segment_id, name = manifest.add_segment()
+            self.segments_dir.mkdir(parents=True, exist_ok=True)
+            path = self.segments_dir / name
+            handle = open(path, "ab")
+            active = self._active = {
+                "id": segment_id, "path": path,
+                "handle": handle, "offset": handle.tell(),
+            }
+        return active
+
+    def _seal_active(self):
+        active, self._active = self._active, None
+        if active is None:
+            return
+        try:
+            active["handle"].close()
+        except OSError:
+            pass
+        try:
+            self._manifest_rw().seal_segment(active["id"])
+        except Exception:
+            pass
+
+    def close(self):
+        """Release the open segment handle and manifest connection."""
+        with self._lock:
+            self._seal_active()
+            if self._manifest is not None:
+                self._manifest.close()
+                self._manifest = None
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _append_envelope(self, envelope, stats=None):
+        """Append one envelope as a segment record + manifest row.
+
+        The record is flushed *before* the row commits, so a crash
+        between the two leaves an unindexed orphan (reclaimed by
+        :meth:`compact`), never an indexed cell without bytes.  The
+        envelope's own ``model_version`` is recorded — migration and
+        salvage preserve foreign stamps for :meth:`verify` to judge.
+        """
+        payload, raw_length = encode_envelope(envelope)
+        record = pack_record(payload)
+        data = envelope.get("result") or {}
+        if stats is None:
+            try:
+                stats = SimStats.from_dict(data["stats"])
+            except (ValueError, KeyError, TypeError):
+                stats = None
+        with self._lock:
+            manifest = self._manifest_rw()
+            active = self._active_segment(len(record))
+            offset = active["offset"]
+            active["handle"].write(record)
+            active["handle"].flush()
+            active["offset"] = offset + len(record)
+            manifest.upsert_cell({
+                "key": envelope["key"],
+                "segment": active["id"],
+                "offset": offset,
+                "length": len(record),
+                "raw_length": raw_length,
+                "benchmark": data.get("program_name"),
+                "config": data.get("config_name"),
+                "scheme": data.get("scheme_name"),
+                "model_version": envelope.get("model_version"),
+                "halted": 1 if data.get("halted") else 0,
+                "result_cycles": data.get("cycles", 0),
+                "cycles": getattr(stats, "cycles", None),
+                "committed": getattr(stats, "committed_instructions", None),
+                "stats": _pickle_stats(stats) if stats is not None else None,
+            })
+            return active["path"]
+
+    def _read_at(self, segment_name, offset, length):
+        path = self.segments_dir / segment_name
+        with open(path, "rb") as handle:
+            handle.seek(offset)
+            record = handle.read(length)
+        return decode_envelope(unpack_record(record))
+
+    def _read_cell(self, key, segment_name, offset, length):
+        """Read + validate one cell's envelope from its segment.
+
+        Retries through a fresh manifest lookup when the locator went
+        stale (the record was relocated by a concurrent ``compact``),
+        so lazily-decoded results survive store maintenance.
+        """
+        try:
+            env = self._read_at(segment_name, offset, length)
+            if env.get("key") == key:
+                return env
+        except (OSError, CorruptRecord, ValueError):
+            pass
+        manifest = self._manifest_if_exists()
+        row = manifest.cell(key) if manifest is not None else None
+        if row is None:
+            raise KeyError("cell %s vanished from the store index" % key)
+        env = self._read_at(row["segment_name"], row["offset"], row["length"])
+        if env.get("key") != key:
+            raise CorruptRecord(
+                "segment record for %s holds key %r — run"
+                " 'python -m repro store verify'" % (key, env.get("key")))
+        return env
+
+    # -- membership / keys ------------------------------------------------
+
+    def __contains__(self, key):
+        manifest = self._manifest_if_exists()
+        if manifest is not None and manifest.has_key(key):
+            return True
+        return bool(self._legacy_cells()) and key in self._legacy
+
+    def __len__(self):
+        manifest = self._manifest_if_exists()
+        count = manifest.count() if manifest is not None else 0
+        if self._legacy_cells():
+            known = set(manifest.keys()) if manifest is not None else set()
+            count += sum(1 for key in self._legacy.keys()
+                         if key not in known)
+        return count
+
+    def keys(self):
+        """Full keys of every stored cell — straight off the index."""
+        manifest = self._manifest_if_exists()
+        keys = manifest.keys() if manifest is not None else []
+        if self._legacy_cells():
+            known = set(keys)
+            keys.extend(key for key in self._legacy.keys()
+                        if key not in known)
+        return keys
+
+    # -- bulk reads -------------------------------------------------------
+
+    def iter_results(self, fields=None):
+        """Yield every stored result (analysis bulk read).
+
+        With ``fields=None`` every yield is a fully-decoded
+        :class:`SimulationResult`, exactly as before.  Passing the
+        fields the caller will actually touch (e.g.
+        ``fields=("stats",)``) switches to the columnar path:
+        :class:`ResultView` rows served from the manifest alone, no
+        segment I/O or payload decompression.  Any requested field in
+        :data:`SNAPSHOT_FIELDS` forces the full path.  Corrupt or
+        foreign cells are skipped silently — use :meth:`verify` to
+        surface them.
+        """
+        columnar = (fields is not None
+                    and not (set(fields) & SNAPSHOT_FIELDS))
+        manifest = self._manifest_if_exists()
+        if manifest is not None:
+            if columnar:
+                for row in manifest.iter_cells(with_stats=True):
+                    yield ResultView(self, row)
+            else:
+                for row, env in self._iter_segment_envelopes():
+                    try:
+                        yield SimulationResult.from_dict(env["result"])
+                    except (ValueError, KeyError, TypeError):
+                        continue
+        if self._legacy_cells():
+            known = set(manifest.keys()) if manifest is not None else set()
+            for key, data in self._legacy.iter_cells():
+                if key in known:
+                    continue  # superseded by a segment record
+                try:
+                    yield SimulationResult.from_dict(data["result"])
+                except (ValueError, KeyError, TypeError):
+                    continue
+
+    def _iter_segment_envelopes(self, with_stats=False):
+        """Yield ``(row, envelope)`` streaming each segment once, in
+        record order; undecodable records are skipped."""
+        current_name, handle = None, None
+        try:
+            for row in self._manifest_rw().iter_cells(with_stats=with_stats):
+                if row["segment_name"] != current_name:
+                    if handle is not None:
+                        handle.close()
+                    current_name, handle = row["segment_name"], None
+                    try:
+                        handle = open(self.segments_dir / current_name, "rb")
+                    except OSError:
+                        continue
+                if handle is None:
+                    continue
+                try:
+                    handle.seek(row["offset"])
+                    record = handle.read(row["length"])
+                    yield row, decode_envelope(unpack_record(record))
+                except (OSError, CorruptRecord, ValueError):
+                    continue
+        finally:
+            if handle is not None:
+                handle.close()
+
+    def load_many(self, keys):
+        """Bulk read: ``{key: SimulationResult}`` for every hit.
+
+        Segment-backed hits come back as lazily-decoded results: the
+        identity and statistics are served from the manifest, and the
+        architectural snapshot decompresses from its segment only when
+        touched.  Missing, corrupt, or key-mismatched cells are simply
+        absent from the returned dict (callers treat absence as "needs
+        simulating").
+        """
+        keys = list(dict.fromkeys(keys))
+        results = {}
+        manifest = self._manifest_if_exists()
+        if manifest is not None:
+            for key, row in manifest.cells_for(keys).items():
+                results[key] = _StoredResult._from_row(self, row)
+        missing = [key for key in keys if key not in results]
+        if missing and self._legacy_cells():
+            results.update(self._legacy.load_many(missing))
+        return results
+
+    def load_columns(self, keys, fields):
+        """Columnar point reads: ``{key: {field: value}}``.
+
+        Identity fields and the hot counters (``benchmark``,
+        ``config``, ``scheme``, ``model_version``, ``halted``,
+        ``cycles``, ``committed_instructions``, ``ipc``) are answered
+        straight from manifest columns.  Any other field selects from
+        the flattened :meth:`SimStats.as_dict` namespace (e.g.
+        ``stall_iq_full``, ``extra.cycacct.width``) and may use
+        ``fnmatch`` wildcards (``extra.cycacct.*``); those decode the
+        per-cell stats blob — still no segment I/O.  Keys without a
+        stored cell are absent from the result.
+        """
+        import fnmatch
+
+        fields = list(fields)
+        stat_fields = [f for f in fields if f not in _SQL_COLUMNS]
+        wild = [f for f in stat_fields if any(c in f for c in "*?[")]
+        out = {}
+
+        def from_stats(stats_dict, record):
+            for field in stat_fields:
+                if field in wild:
+                    for name in fnmatch.filter(stats_dict, field):
+                        record[name] = stats_dict[name]
+                elif field in stats_dict:
+                    record[field] = stats_dict[field]
+
+        manifest = self._manifest_if_exists()
+        remaining = list(dict.fromkeys(keys))
+        if manifest is not None:
+            for key, row in manifest.cells_for(remaining).items():
+                record = {}
+                for field in fields:
+                    if field in _SQL_COLUMNS:
+                        record[field] = _SQL_COLUMNS[field](row)
+                if stat_fields:
+                    stats = _unpickle_stats(row["stats"])
+                    if stats is None:
+                        try:
+                            env = self._read_cell(key, row["segment_name"],
+                                                  row["offset"], row["length"])
+                            stats = SimStats.from_dict(env["result"]["stats"])
+                        except (KeyError, CorruptRecord, OSError, ValueError,
+                                TypeError):
+                            stats = None
+                    if stats is not None:
+                        from_stats(stats.as_dict(), record)
+                out[key] = record
+            remaining = [key for key in remaining if key not in out]
+        if remaining and self._legacy_cells():
+            for key, result in self._legacy.load_many(remaining).items():
+                record = {}
+                stats_dict = result.stats.as_dict()
+                for field in fields:
+                    if field == "benchmark":
+                        record[field] = result.program_name
+                    elif field == "config":
+                        record[field] = result.config_name
+                    elif field == "scheme":
+                        record[field] = result.scheme_name
+                    elif field == "model_version":
+                        record[field] = MODEL_VERSION
+                    elif field == "halted":
+                        record[field] = result.halted
+                if stat_fields or "cycles" in fields \
+                        or "committed_instructions" in fields \
+                        or "ipc" in fields:
+                    for field in ("cycles", "committed_instructions", "ipc"):
+                        if field in fields:
+                            record[field] = stats_dict[field]
+                    from_stats(stats_dict, record)
+                out[key] = record
+        return out
+
+    # -- round-tripping ---------------------------------------------------
+
+    def load(self, key):
+        """Return the stored :class:`SimulationResult`, or ``None``."""
+        manifest = self._manifest_if_exists()
+        if manifest is not None:
+            row = manifest.cell(key)
+            if row is not None:
+                try:
+                    env = self._read_at(row["segment_name"], row["offset"],
+                                        row["length"])
+                except (OSError, CorruptRecord, ValueError):
+                    return None
+                if env.get("key") != key:
+                    return None
+                try:
+                    return SimulationResult.from_dict(env["result"])
+                except (ValueError, KeyError, TypeError):
+                    return None
+        if self._legacy_cells():
+            return self._legacy.load(key)
+        return None
+
+    def load_envelope(self, key):
+        """The raw stored envelope (``{"key", "model_version", "meta",
+        "result"}``) for ``key``, or ``None`` — format-level access for
+        tooling, chaos equivalence checks, and migration."""
+        manifest = self._manifest_if_exists()
+        if manifest is not None:
+            row = manifest.cell(key)
+            if row is not None:
+                try:
+                    env = self._read_at(row["segment_name"], row["offset"],
+                                        row["length"])
+                except (OSError, CorruptRecord, ValueError):
+                    return None
+                return env if env.get("key") == key else None
+        if self._legacy_cells():
+            return self._legacy.load_envelope(key)
+        return None
+
+    def save(self, key, result, meta=None):
+        """Persist one result; returns the segment path it landed in.
+
+        Appends a record to this instance's segment and indexes it in
+        the manifest.  A lingering legacy JSON cell for the same key is
+        deleted (the manifest supersedes it), so mixed stores converge
+        toward pure segments as cells are rewritten.
+        """
+        envelope = {
+            "key": key,
+            "model_version": MODEL_VERSION,
+            "meta": dict(meta or {}),
+            "result": result.to_dict(),
+        }
+        path = self._append_envelope(envelope, stats=result.stats)
+        if self._legacy_cells():
+            self._legacy.discard(key)
+        return path
+
+    def clear(self):
+        """Delete every stored cell (keeps the directory)."""
+        with self._lock:
+            active, self._active = self._active, None
+            if active is not None:
+                try:
+                    active["handle"].close()
+                except OSError:
+                    pass
+            if self._manifest is not None:
+                self._manifest.close()
+                self._manifest = None
+            for suffix in ("", "-wal", "-shm"):
+                try:
+                    os.unlink(str(self.manifest_path) + suffix)
+                except OSError:
+                    pass
+            shutil.rmtree(self.segments_dir, ignore_errors=True)
+        self._legacy.clear()
 
     # -- failure records --------------------------------------------------
 
@@ -325,9 +1066,9 @@ class ResultStore:
         """Persist one :class:`CellFailure` atomically; returns its path.
 
         Failures live under ``failures/`` with the same browsable
-        prefix + digest naming as results.  Saving is idempotent per
-        key (atomic replace), so a quarantine re-recorded on resume or
-        retried campaigns never duplicate.
+        prefix + digest naming as legacy results.  Saving is idempotent
+        per key (atomic replace), so a quarantine re-recorded on resume
+        or retried campaigns never duplicate.
         """
         directory = self.failures_dir
         directory.mkdir(parents=True, exist_ok=True)
@@ -389,81 +1130,308 @@ class ResultStore:
             return False
         return True
 
-    # -- eviction / integrity --------------------------------------------
+    # -- eviction / integrity ---------------------------------------------
 
     def verify(self):
         """Integrity sweep: quarantine corrupt cells, drop stale ones.
 
-        A cell is *corrupt* when its JSON cannot be parsed or its
-        ``result`` payload no longer round-trips through
-        :meth:`SimulationResult.from_dict` (truncated write survived a
-        crash, hand-edited file, schema drift); it is renamed aside
-        with a ``.corrupt`` suffix — out of the index, but preserved
-        for post-mortem instead of destroyed.  A cell is *stale* when
-        its ``model_version`` stamp differs from the running
-        :data:`MODEL_VERSION`; such cells are unreachable anyway (their
-        keys can never be recomputed) and are deleted as pure dead
-        weight.  Returns ``{"scanned", "kept", "corrupt", "stale"}``.
+        Segment cells: every record is re-read and validated (frame +
+        CRC + JSON + key match + :meth:`SimulationResult.from_dict`
+        round-trip).  A segment holding any corrupt record has its
+        healthy records salvaged into a fresh segment, then the whole
+        file is set aside with a ``.corrupt`` suffix — out of the
+        index, preserved for post-mortem.  Cells whose
+        ``model_version`` stamp differs from the running
+        :data:`MODEL_VERSION` are *stale*: unreachable anyway (their
+        keys can never be recomputed), their index rows are dropped and
+        their bytes reclaimed at the next :meth:`compact`.  Legacy JSON
+        cells keep their original verdict handling.  Offline operation.
+        Returns ``{"scanned", "kept", "corrupt", "stale"}``.
         """
         summary = {"scanned": 0, "kept": 0, "corrupt": 0, "stale": 0}
-        for path in list(self._index(refresh=True).values()):
-            summary["scanned"] += 1
-            verdict = self._verify_one(path)
-            if verdict == "kept":
-                summary["kept"] += 1
-                continue
-            summary[verdict] += 1
-            try:
-                if verdict == "corrupt":
-                    os.replace(path, str(path) + ".corrupt")
-                else:
-                    path.unlink()
-            except OSError:
-                pass
-        self._index(refresh=True)
+        with self._lock:
+            manifest = self._manifest_if_exists()
+            if manifest is not None:
+                self._verify_segments(manifest, summary)
+            if self._legacy_cells():
+                for verdict, count in self._legacy.verify().items():
+                    summary[verdict] += count
         return summary
 
-    def _verify_one(self, path):
+    def _verify_segments(self, manifest, summary):
+        verdicts = {}  # segment_id -> [(key, verdict)]
+        names = {}
+        current_name, handle = None, None
         try:
-            with open(path) as handle:
-                data = json.load(handle)
-            key = data["key"]
-            if not isinstance(key, str) or len(key) != 64:
-                return "corrupt"
-            SimulationResult.from_dict(data["result"])
-        except (OSError, ValueError, KeyError, TypeError):
-            return "corrupt"
-        if data.get("model_version") != MODEL_VERSION:
-            return "stale"
-        return "kept"
+            for row in manifest.iter_cells(with_stats=False):
+                if row["segment_name"] != current_name:
+                    if handle is not None:
+                        handle.close()
+                    current_name, handle = row["segment_name"], None
+                    try:
+                        handle = open(self.segments_dir / current_name, "rb")
+                    except OSError:
+                        pass
+                names[row["segment"]] = row["segment_name"]
+                summary["scanned"] += 1
+                verdict = "corrupt"
+                if handle is not None:
+                    try:
+                        handle.seek(row["offset"])
+                        env = decode_envelope(
+                            unpack_record(handle.read(row["length"])))
+                        key = env["key"]
+                        if (isinstance(key, str) and len(key) == 64
+                                and key == row["key"]):
+                            SimulationResult.from_dict(env["result"])
+                            verdict = (
+                                "kept" if env.get("model_version")
+                                == MODEL_VERSION else "stale")
+                    except (OSError, CorruptRecord, ValueError, KeyError,
+                            TypeError):
+                        verdict = "corrupt"
+                summary[verdict] += 1
+                verdicts.setdefault(row["segment"], []).append(
+                    (row["key"], verdict))
+        finally:
+            if handle is not None:
+                handle.close()
+
+        stale_keys = [key for cells in verdicts.values()
+                      for key, verdict in cells if verdict == "stale"]
+        if stale_keys:
+            manifest.delete_cells(stale_keys)
+        for segment_id, cells in verdicts.items():
+            if all(verdict != "corrupt" for _, verdict in cells):
+                continue
+            self._quarantine_segment(manifest, segment_id,
+                                     names[segment_id], cells)
+
+    def _quarantine_segment(self, manifest, segment_id, name, cells):
+        """Salvage healthy records out of a corrupt segment, then set
+        the whole file aside as ``<name>.corrupt``."""
+        if self._active is not None and self._active["id"] == segment_id:
+            self._seal_active()
+        for key, verdict in cells:
+            if verdict != "kept":
+                continue
+            row = manifest.cell(key)
+            if row is None or row["segment"] != segment_id:
+                continue  # already relocated
+            try:
+                env = self._read_at(name, row["offset"], row["length"])
+                self._append_envelope(env)
+            except (OSError, CorruptRecord, ValueError, KeyError):
+                continue
+        manifest.delete_cells(
+            [key for key, verdict in cells if verdict == "corrupt"])
+        path = self.segments_dir / name
+        try:
+            os.replace(path, str(path) + ".corrupt")
+        except OSError:
+            pass
+        manifest.delete_segment(segment_id)
+
+    def _segment_disk_bytes(self):
+        total = 0
+        if self.segments_dir.is_dir():
+            for path in self.segments_dir.glob("*" + SEGMENT_SUFFIX):
+                try:
+                    total += path.stat().st_size
+                except OSError:
+                    pass
+        return total
 
     def gc(self, keep_keys):
         """Evict every cell whose full key is not in ``keep_keys``.
 
         The targeted counterpart of :meth:`clear`: callers compute the
-        keys of the grid slices they still care about (e.g. the
-        standard campaign grid at the current scale/seed) and every
-        other cell — stale model versions, abandoned scales, ad-hoc
-        configs — is deleted.  Unreadable files are evicted too (they
-        can never be loaded).  Returns ``{"scanned", "kept",
-        "dropped"}``.
+        keys of the grid slices they still care about and every other
+        cell — stale model versions, abandoned scales, ad-hoc configs —
+        is dropped from the index, then :meth:`compact` rewrites the
+        survivors and reclaims the dead bytes.  Offline operation.
+        Returns ``{"scanned", "kept", "dropped", "bytes_reclaimed"}``.
         """
         keep = set(keep_keys)
-        summary = {"scanned": 0, "kept": 0, "dropped": 0}
-        for path in list(self._index(refresh=True).values()):
-            summary["scanned"] += 1
+        summary = {"scanned": 0, "kept": 0, "dropped": 0,
+                   "bytes_reclaimed": 0}
+        with self._lock:
+            manifest = self._manifest_if_exists()
+            if manifest is not None:
+                all_keys = manifest.keys()
+                drop = [key for key in all_keys if key not in keep]
+                summary["scanned"] += len(all_keys)
+                summary["kept"] += len(all_keys) - len(drop)
+                summary["dropped"] += len(drop)
+                if drop:
+                    manifest.delete_cells(drop)
+                    before = self._segment_disk_bytes()
+                    self.compact()
+                    summary["bytes_reclaimed"] += max(
+                        0, before - self._segment_disk_bytes())
+            if self._legacy_cells():
+                for name, value in self._legacy.gc(keep).items():
+                    summary[name] += value
+        return summary
+
+    def compact(self):
+        """Fold live records into fresh sealed segments.
+
+        Copies every indexed record verbatim (CRC-checked, never
+        re-encoded) into new segments in index order, then deletes all
+        old segment files — reclaiming dead bytes left by overwrites,
+        evictions, and orphaned appends, and folding the single-record
+        segments short-lived writer instances leave behind.  Records
+        whose CRC fails during the copy are dropped from the index and
+        counted.  Offline operation.  Returns a summary dict.
+        """
+        with self._lock:
+            manifest = self._manifest_if_exists()
+            summary = {"cells": 0, "segments_before": 0, "segments_after": 0,
+                       "bytes_before": 0, "bytes_after": 0,
+                       "corrupt_dropped": 0}
+            if manifest is None:
+                return summary
+            self._seal_active()
+            old_segments = manifest.segments()
+            summary["segments_before"] = len(old_segments)
+            summary["bytes_before"] = self._segment_disk_bytes()
+
+            moves = []  # (segment_id, offset, key)
+            dropped = []
+            writer = None  # {"id","path","handle","offset"}
+            new_ids = set()
+            current_name, handle = None, None
             try:
-                with open(path) as handle:
-                    key = json.load(handle).get("key")
-            except (OSError, ValueError):
-                key = None
-            if key in keep:
-                summary["kept"] += 1
-                continue
-            summary["dropped"] += 1
+                for row in manifest.iter_cells(with_stats=False):
+                    if row["segment_name"] != current_name:
+                        if handle is not None:
+                            handle.close()
+                        current_name, handle = row["segment_name"], None
+                        try:
+                            handle = open(
+                                self.segments_dir / current_name, "rb")
+                        except OSError:
+                            pass
+                    record = b""
+                    if handle is not None:
+                        try:
+                            handle.seek(row["offset"])
+                            record = handle.read(row["length"])
+                            unpack_record(record)
+                        except (OSError, CorruptRecord):
+                            record = b""
+                    if not record:
+                        dropped.append(row["key"])
+                        continue
+                    if writer is not None and writer["offset"] > 0 and \
+                            writer["offset"] + len(record) > self.segment_bytes:
+                        writer["handle"].close()
+                        manifest.seal_segment(writer["id"])
+                        writer = None
+                    if writer is None:
+                        segment_id, name = manifest.add_segment()
+                        new_ids.add(segment_id)
+                        self.segments_dir.mkdir(parents=True, exist_ok=True)
+                        path = self.segments_dir / name
+                        writer = {"id": segment_id, "path": path,
+                                  "handle": open(path, "ab"), "offset": 0}
+                    moves.append((writer["id"], writer["offset"], row["key"]))
+                    writer["handle"].write(record)
+                    writer["offset"] += len(record)
+                    summary["cells"] += 1
+            finally:
+                if handle is not None:
+                    handle.close()
+                if writer is not None:
+                    writer["handle"].flush()
+                    writer["handle"].close()
+                    manifest.seal_segment(writer["id"])
+
+            manifest.relocate_cells(moves)
+            if dropped:
+                manifest.delete_cells(dropped)
+                summary["corrupt_dropped"] = len(dropped)
+            for segment in old_segments:
+                if segment["id"] in new_ids:
+                    continue
+                try:
+                    os.unlink(self.segments_dir / segment["name"])
+                except OSError:
+                    pass
+                manifest.delete_segment(segment["id"])
+            summary["segments_after"] = len(new_ids)
+            summary["bytes_after"] = self._segment_disk_bytes()
+            return summary
+
+    def migrate(self):
+        """Convert legacy JSON-per-cell files into segment records.
+
+        Each legacy envelope is appended verbatim — key, meta, and
+        ``model_version`` stamp preserved — then its file is deleted.
+        Unreadable or non-round-tripping files are skipped and left in
+        place (run :meth:`verify` to judge them).  Offline operation.
+        Returns ``{"migrated", "skipped"}``.
+        """
+        summary = {"migrated": 0, "skipped": 0}
+        with self._lock:
+            for path in list(self._legacy.cells().values()):
+                try:
+                    with open(path) as handle:
+                        data = json.load(handle)
+                    key = data["key"]
+                    if not isinstance(key, str) or len(key) != 64:
+                        raise ValueError("bad key")
+                    stats = SimStats.from_dict(data["result"]["stats"])
+                except (OSError, ValueError, KeyError, TypeError):
+                    summary["skipped"] += 1
+                    continue
+                self._append_envelope(data, stats=stats)
+                try:
+                    path.unlink()
+                except OSError:
+                    summary["skipped"] += 1
+                    continue
+                summary["migrated"] += 1
+            self._legacy._index(refresh=True)
+        return summary
+
+    def stats(self):
+        """Store-level accounting for ``python -m repro store stats``."""
+        manifest = self._manifest_if_exists()
+        legacy_cells = self._legacy_cells()
+        legacy_bytes = 0
+        for path in legacy_cells.values():
             try:
-                path.unlink()
+                legacy_bytes += path.stat().st_size
             except OSError:
                 pass
-        self._index(refresh=True)
-        return summary
+        manifest_bytes = 0
+        for suffix in ("", "-wal", "-shm"):
+            try:
+                manifest_bytes += os.stat(
+                    str(self.manifest_path) + suffix).st_size
+            except OSError:
+                pass
+        segment_count = 0
+        if self.segments_dir.is_dir():
+            segment_count = sum(
+                1 for _ in self.segments_dir.glob("*" + SEGMENT_SUFFIX))
+        live, raw = manifest.totals() if manifest is not None else (0, 0)
+        segment_bytes = self._segment_disk_bytes()
+        return {
+            "root": str(self.root),
+            "format": FORMAT_VERSION,
+            "cells": manifest.count() if manifest is not None else 0,
+            "legacy_cells": len(legacy_cells),
+            "segments": segment_count,
+            "segment_bytes": segment_bytes,
+            "manifest_bytes": manifest_bytes,
+            "legacy_bytes": legacy_bytes,
+            "disk_bytes": segment_bytes + manifest_bytes + legacy_bytes,
+            "live_bytes": live,
+            "raw_bytes": raw,
+            "compression_ratio": (raw / live) if live else None,
+            "legacy": bool(legacy_cells),
+            "failures": len(self.failures()),
+        }

@@ -142,15 +142,16 @@ def test_store_verify_drops_corrupt_and_stale(tmp_path):
     store = ResultStore(tmp_path)
     runner = CampaignRunner(scale=0.05, benchmarks=(BENCH,))
     key = runner.cell_key(BENCH, SMALL, "baseline")
-    good = store.save(key, runner.run(BENCH, SMALL, "baseline"))
+    store.save(key, runner.run(BENCH, SMALL, "baseline"))
 
+    # Legacy-format damage: corrupt/stale JSON cells in the store root
+    # keep their original verdict handling alongside segment cells.
     corrupt = tmp_path / ("corrupt__x__y__%s.json" % ("b" * 12))
     corrupt.write_text("{not json")
     truncated = tmp_path / ("trunc__x__y__%s.json" % ("c" * 12))
     truncated.write_text(json.dumps({"key": "c" * 64, "model_version":
                                      "whatever"}))  # no result payload
-    with open(good) as handle:
-        stale_data = json.load(handle)
+    stale_data = dict(store.load_envelope(key))
     stale_data["model_version"] = "0.0.0-ancient"
     stale_data["key"] = "d" * 64
     stale = tmp_path / ("stale__x__y__%s.json" % ("d" * 12))
@@ -214,7 +215,10 @@ def test_store_gc_keeps_only_requested_keys(tmp_path):
     store.save(drop_key, runner.run(SUBSET[1], SMALL, "nda"))
 
     summary = store.gc([keep_key])
-    assert summary == {"scanned": 2, "kept": 1, "dropped": 1}
+    assert summary["scanned"] == 2
+    assert summary["kept"] == 1
+    assert summary["dropped"] == 1
+    assert summary["bytes_reclaimed"] > 0  # dead bytes compacted away
     assert store.load(keep_key) is not None
     assert store.load(drop_key) is None
 

@@ -101,11 +101,12 @@ def test_cli_serve_writes_journal_and_resumes(tmp_path, capsys):
     state = CampaignJournal.load(journal_path(tmp_path))
     assert state is not None and len(state.done) == 1
 
-    # Simulate a coordinator crash that lost the store cell: --resume
+    # Simulate a coordinator crash that lost the store cells: --resume
     # replays the journal, re-simulates the missing cell, and the
     # journal gains a session marker.
-    for cell in tmp_path.glob("*.json"):
-        cell.unlink()
+    from repro.harness.store import ResultStore
+
+    ResultStore(tmp_path).clear()
     assert main(args + ["--resume"]) == 0
     out = capsys.readouterr().out
     assert "1 simulated" in out
